@@ -1,0 +1,394 @@
+package semsim_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 5)
+// — each wraps the corresponding internal/experiments driver at a reduced
+// scale so `go test -bench=.` regenerates every result — plus
+// micro-benchmarks for the individual subsystems (walk sampling, semantic
+// lookups, the three single-pair query paths of Figure 4).
+//
+// Run everything:     go test -bench=. -benchmem
+// Full-size tables:   go run ./cmd/experiments -run all [-scale paper]
+
+import (
+	"testing"
+
+	"semsim"
+	"semsim/internal/datagen"
+	"semsim/internal/experiments"
+	"semsim/internal/hin"
+	"semsim/internal/mc"
+	"semsim/internal/simrank"
+	"semsim/internal/walk"
+)
+
+// BenchmarkFigure3Convergence regenerates the Figure 3 convergence curves.
+func BenchmarkFigure3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Convergence(experiments.ConvergenceConfig{
+			Authors: 150, Items: 150, Iterations: 6, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != 4 {
+			b.Fatal("bad series count")
+		}
+	}
+}
+
+// BenchmarkTable3G2Reduction regenerates the Table 3 G^2 size comparison.
+func BenchmarkTable3G2Reduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.G2Reduction(experiments.G2Config{
+			Authors: 150, Articles: 150, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkFigure4QueryTimes regenerates the Figure 4 timing sweeps (both
+// panels plus the SLING rows of Section 5.2).
+func BenchmarkFigure4QueryTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.QueryTimes(experiments.QueryTimesConfig{
+			Items: 200, NumWalksSweep: []int{50, 100}, LengthSweep: []int{5, 10},
+			Queries: 50, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ByNumWalks) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkTable4Accuracy regenerates the Table 4 approximation-accuracy
+// statistics.
+func BenchmarkTable4Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Accuracy(experiments.AccuracyConfig{
+			Authors: 100, Items: 100, Pairs: 50, Runs: 5,
+			NumWalks: 60, Length: 8, Seed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Datasets) != 2 {
+			b.Fatal("bad datasets")
+		}
+	}
+}
+
+// BenchmarkTable5Relatedness regenerates the Table 5 term-relatedness
+// comparison.
+func BenchmarkTable5Relatedness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Relatedness(experiments.RelatednessConfig{
+			Articles: 120, Nouns: 200, Pairs: 60, NumWalks: 40, Length: 8, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows[0]) != 10 {
+			b.Fatal("bad methods")
+		}
+	}
+}
+
+// BenchmarkFigure5aLinkPrediction regenerates the Figure 5(a) hit-rate
+// curves.
+func BenchmarkFigure5aLinkPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.LinkPrediction(experiments.PredictionConfig{
+			Items: 150, RemovedEdges: 15, Ks: []int{5, 10},
+			NumWalks: 40, Length: 6, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves) != 7 {
+			b.Fatal("bad curves")
+		}
+	}
+}
+
+// BenchmarkFigure5bEntityResolution regenerates the Figure 5(b) precision
+// curves.
+func BenchmarkFigure5bEntityResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EntityResolution(experiments.PredictionConfig{
+			Authors: 120, Duplicates: 10, Ks: []int{5, 10},
+			NumWalks: 40, Length: 6, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves) != 7 {
+			b.Fatal("bad curves")
+		}
+	}
+}
+
+// BenchmarkPreprocessing regenerates the Section 5.2 offline-cost report.
+func BenchmarkPreprocessing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Preprocessing(experiments.PreprocessingConfig{
+			Authors: 100, Items: 100, Articles: 100, Nouns: 200,
+			NumWalks: 20, Length: 5, Seed: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// --- Micro-benchmarks -------------------------------------------------
+
+// benchEnv builds a shared medium graph + walk index once.
+type benchEnv struct {
+	d   *datagen.Dataset
+	ix  *walk.Index
+	est *mc.Estimator // SemSim, no pruning
+	prn *mc.Estimator // SemSim + pruning + SLING
+	sr  *simrank.MC   // SimRank
+	idx *semsim.Index // public facade index
+}
+
+var envCache *benchEnv
+
+func env(b *testing.B) *benchEnv {
+	b.Helper()
+	if envCache != nil {
+		return envCache
+	}
+	d, err := datagen.Amazon(datagen.AmazonConfig{Items: 600, Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := walk.Build(d.Graph, walk.Options{NumWalks: 150, Length: 15, Seed: 1, Parallel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := mc.New(ix, d.Lin, mc.Options{C: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := mc.NewSOCache(d.Graph, d.Lin, 0.1)
+	prn, err := mc.New(ix, d.Lin, mc.Options{C: 0.6, Theta: 0.05, Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr, err := simrank.NewMC(ix, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
+		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache = &benchEnv{d: d, ix: ix, est: est, prn: prn, sr: sr, idx: idx}
+	return envCache
+}
+
+func pairAt(e *benchEnv, i int) (hin.NodeID, hin.NodeID) {
+	n := e.d.Graph.NumNodes()
+	return hin.NodeID(i * 7 % n), hin.NodeID((i*13 + 1) % n)
+}
+
+// BenchmarkWalkIndexBuild measures the offline walk-sampling phase.
+func BenchmarkWalkIndexBuild(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix, err := walk.Build(e.d.Graph, walk.Options{NumWalks: 50, Length: 10, Seed: int64(i), Parallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ix
+	}
+}
+
+// BenchmarkQuerySimRankMC is the SimRank single-pair query of Figure 4.
+func BenchmarkQuerySimRankMC(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.sr.Query(u, v)
+	}
+}
+
+// BenchmarkQuerySemSimMC is the un-pruned SemSim query of Figure 4.
+func BenchmarkQuerySemSimMC(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.est.Query(u, v)
+	}
+}
+
+// BenchmarkQuerySemSimPrunedSLING is the pruned+cached SemSim query of
+// Figure 4 (the configuration the paper reports as on par with SimRank).
+func BenchmarkQuerySemSimPrunedSLING(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.prn.Query(u, v)
+	}
+}
+
+// BenchmarkLinLookup measures the constant-time semantic similarity the
+// complexity analysis assumes (taxonomy IC + O(1) LCA).
+func BenchmarkLinLookup(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.d.Lin.Sim(u, v)
+	}
+}
+
+// BenchmarkLCAQuery measures the Euler-tour sparse-table LCA.
+func BenchmarkLCAQuery(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.d.Tax.LCA(int32(u), int32(v))
+	}
+}
+
+// BenchmarkTopK10 measures the public-facade top-10 similarity search.
+func BenchmarkTopK10(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		u, _ := pairAt(e, i)
+		e.idx.TopK(u, 10)
+	}
+}
+
+// BenchmarkSemSimExactIterative measures one full iterative solve on a
+// small graph (the ground-truth path of Tables 4/5).
+func BenchmarkSemSimExactIterative(b *testing.B) {
+	d, err := datagen.AMiner(datagen.AMinerConfig{Authors: 150, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := semsim.Exact(d.Graph, d.Lin, semsim.ExactOptions{C: 0.6, MaxIterations: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecayUpperBound measures the Theorem 2.3(5) bound scan
+// (sampled).
+func BenchmarkDecayUpperBound(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		semsim.DecayUpperBound(e.d.Graph, e.d.Lin, 2000)
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation tables
+// (definition ingredients + pruning threshold sweep).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(experiments.AblationConfig{
+			Nouns: 150, Pairs: 50, Items: 120, QueryPairs: 40, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Variants) != 5 {
+			b.Fatal("bad variants")
+		}
+	}
+}
+
+// BenchmarkTopK10MeetIndex measures collision-driven top-10 search (the
+// single-source path) for comparison with BenchmarkTopK10.
+func BenchmarkTopK10MeetIndex(b *testing.B) {
+	e := env(b)
+	meet := walk.BuildMeetIndex(e.ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, _ := pairAt(e, i)
+		e.prn.TopKWithIndex(u, 10, meet)
+	}
+}
+
+// BenchmarkTopK10SemBounded measures the Prop 2.5 early-terminated top-10
+// search.
+func BenchmarkTopK10SemBounded(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		u, _ := pairAt(e, i)
+		e.prn.TopKSemBounded(u, 10)
+	}
+}
+
+// BenchmarkSingleSource measures full single-source enumeration via the
+// inverted meeting index.
+func BenchmarkSingleSource(b *testing.B) {
+	e := env(b)
+	meet := walk.BuildMeetIndex(e.ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, _ := pairAt(e, i)
+		e.prn.SingleSource(u, meet)
+	}
+}
+
+// BenchmarkMeetIndexBuild measures the inverted-index construction.
+func BenchmarkMeetIndexBuild(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		walk.BuildMeetIndex(e.ix)
+	}
+}
+
+// BenchmarkBatchQueryParallel measures concurrent batched queries.
+func BenchmarkBatchQueryParallel(b *testing.B) {
+	e := env(b)
+	n := e.d.Graph.NumNodes()
+	pairs := make([][2]hin.NodeID, 512)
+	for i := range pairs {
+		pairs[i] = [2]hin.NodeID{hin.NodeID(i * 3 % n), hin.NodeID((i*11 + 2) % n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.BatchQuery(e.ix, e.d.Lin, mc.Options{C: 0.6, Theta: 0.05,
+			Cache: mc.NewSOCache(e.d.Graph, e.d.Lin, 0.1)}, pairs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexRefresh measures incremental walk maintenance after a
+// single-node in-neighborhood change.
+func BenchmarkIndexRefresh(b *testing.B) {
+	e := env(b)
+	changed := []hin.NodeID{hin.NodeID(7)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ix.Refresh(e.d.Graph, changed, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

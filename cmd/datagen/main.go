@@ -1,0 +1,66 @@
+// Command datagen writes a synthetic dataset (see internal/datagen and the
+// substitution notes in DESIGN.md) to a HIN text file:
+//
+//	datagen -dataset aminer -size 1000 -seed 1 -out aminer.hin
+//
+// Datasets: aminer, amazon, wikipedia, wordnet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semsim/internal/datagen"
+	"semsim/internal/hin"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "aminer", "aminer, amazon, wikipedia or wordnet")
+		size    = flag.Int("size", 1000, "entity count (authors/items/articles/nouns)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		d   *datagen.Dataset
+		err error
+	)
+	switch *dataset {
+	case "aminer":
+		d, err = datagen.AMiner(datagen.AMinerConfig{Authors: *size, Seed: *seed})
+	case "amazon":
+		d, err = datagen.Amazon(datagen.AmazonConfig{Items: *size, Seed: *seed})
+	case "wikipedia":
+		d, err = datagen.Wikipedia(datagen.WikipediaConfig{Articles: *size, Seed: *seed})
+	case "wordnet":
+		d, err = datagen.WordNet(datagen.WordNetConfig{Nouns: *size, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := hin.Write(w, d.Graph); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	st := d.Graph.Stats()
+	fmt.Fprintf(os.Stderr, "datagen: %s: %d nodes, %d edges, %d labels\n",
+		d.Name, st.Nodes, st.Edges, st.Labels)
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic datasets (see DESIGN.md for the
+// experiment index and substitutions):
+//
+//	experiments -run all            # everything
+//	experiments -run figure3        # convergence
+//	experiments -run table3         # G^2 vs G^2_theta sizes
+//	experiments -run figure4        # single-pair query times (+ SLING)
+//	experiments -run table4         # approximation accuracy
+//	experiments -run table5         # term relatedness
+//	experiments -run figure5a       # link prediction
+//	experiments -run figure5b       # entity resolution
+//	experiments -run preprocessing  # offline costs
+//
+// -scale paper increases the dataset sizes towards the paper's "small
+// dataset" proportions (slower); the default "quick" scale finishes in
+// well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"semsim/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment: all, figure3, table3, figure4, table4, table5, figure5a, figure5b, preprocessing, ablation")
+		scale = flag.String("scale", "quick", "quick or paper")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	big := *scale == "paper"
+	sz := func(quick, paper int) int {
+		if big {
+			return paper
+		}
+		return quick
+	}
+
+	type experiment struct {
+		name string
+		run  func() (interface{ Render() string }, error)
+	}
+	all := []experiment{
+		{"figure3", func() (interface{ Render() string }, error) {
+			return experiments.Convergence(experiments.ConvergenceConfig{
+				Authors: sz(300, 1200), Items: sz(300, 1200), Seed: *seed})
+		}},
+		{"table3", func() (interface{ Render() string }, error) {
+			return experiments.G2Reduction(experiments.G2Config{
+				Authors: sz(400, 1000), Articles: sz(400, 1000), Seed: *seed})
+		}},
+		{"figure4", func() (interface{ Render() string }, error) {
+			return experiments.QueryTimes(experiments.QueryTimesConfig{
+				Items: sz(800, 3000), Queries: sz(200, 1000), Seed: *seed})
+		}},
+		{"table4", func() (interface{ Render() string }, error) {
+			return experiments.Accuracy(experiments.AccuracyConfig{
+				Authors: sz(300, 800), Items: sz(300, 800),
+				Pairs: sz(200, 1000), Runs: sz(20, 100), Seed: *seed})
+		}},
+		{"table5", func() (interface{ Render() string }, error) {
+			return experiments.Relatedness(experiments.RelatednessConfig{
+				Articles: sz(500, 1500), Nouns: sz(800, 3000),
+				Pairs: sz(150, 342), Seed: *seed})
+		}},
+		{"figure5a", func() (interface{ Render() string }, error) {
+			return experiments.LinkPrediction(experiments.PredictionConfig{
+				Items: sz(500, 1500), RemovedEdges: sz(60, 300), Seed: *seed})
+		}},
+		{"figure5b", func() (interface{ Render() string }, error) {
+			return experiments.EntityResolution(experiments.PredictionConfig{
+				Authors: sz(400, 1200), Duplicates: sz(20, 30), Seed: *seed})
+		}},
+		{"preprocessing", func() (interface{ Render() string }, error) {
+			return experiments.Preprocessing(experiments.PreprocessingConfig{
+				Authors: sz(500, 2000), Items: sz(500, 2000),
+				Articles: sz(500, 2000), Nouns: sz(2000, 10000), Seed: *seed})
+		}},
+		{"ablation", func() (interface{ Render() string }, error) {
+			return experiments.Ablation(experiments.AblationConfig{
+				Nouns: sz(600, 2000), Pairs: sz(150, 342),
+				Items: sz(400, 1200), QueryPairs: sz(150, 500), Seed: *seed})
+		}},
+	}
+
+	selected := strings.Split(*run, ",")
+	matched := 0
+	for _, e := range all {
+		want := false
+		for _, s := range selected {
+			if s == "all" || s == e.name {
+				want = true
+			}
+		}
+		if !want {
+			continue
+		}
+		matched++
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s (%.1fs)\n\n%s\n", e.name, time.Since(start).Seconds(), res.Render())
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -run %q\n", *run)
+		os.Exit(2)
+	}
+}

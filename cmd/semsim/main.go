@@ -1,0 +1,195 @@
+// Command semsim answers similarity queries over a HIN stored in the text
+// graph format (see internal/hin). Subcommands:
+//
+//	semsim info   -graph g.hin
+//	semsim query  -graph g.hin -u NAME -v NAME [flags]
+//	semsim topk   -graph g.hin -u NAME -k 10 [flags]
+//	semsim single -graph g.hin -u NAME -k 10 [flags]   (inverted-index single-source)
+//	semsim exact  -graph g.hin -top 20 [flags]
+//
+// Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
+// node, -t walk length, -sling SO-cache cutoff, -seed. The walk index can
+// be persisted across runs with -save-walks FILE / -load-walks FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		graphPath = fs.String("graph", "", "path to the HIN text file (required)")
+		uName     = fs.String("u", "", "first node name")
+		vName     = fs.String("v", "", "second node name")
+		k         = fs.Int("k", 10, "top-k size")
+		top       = fs.Int("top", 20, "pairs to print for exact")
+		c         = fs.Float64("c", 0.6, "decay factor")
+		theta     = fs.Float64("theta", 0.05, "pruning threshold (0 disables)")
+		nw        = fs.Int("nw", 150, "walks per node")
+		t         = fs.Int("t", 15, "walk length")
+		sling     = fs.Float64("sling", 0.1, "SLING SO-cache cutoff (0 disables)")
+		iters     = fs.Int("iters", 10, "iterations for exact")
+		seed      = fs.Int64("seed", 1, "random seed")
+		saveWalks = fs.String("save-walks", "", "persist the walk index to this file after building")
+		loadWalks = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
+	)
+	fs.Parse(os.Args[2:])
+	if *graphPath == "" {
+		fatal("missing -graph")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := semsim.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	tax, err := semsim.BuildTaxonomy(g, semsim.TaxonomyOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	lin := semsim.NewLin(tax)
+
+	node := func(name string) semsim.NodeID {
+		id, ok := g.NodeByName(name)
+		if !ok {
+			fatal(fmt.Sprintf("unknown node %q", name))
+		}
+		return id
+	}
+	buildIndex := func(meetIndex bool) *semsim.Index {
+		opts := semsim.IndexOptions{
+			NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
+			SLINGCutoff: *sling, Seed: *seed, Parallel: true,
+			MeetIndex: meetIndex,
+		}
+		var idx *semsim.Index
+		var err error
+		if *loadWalks != "" {
+			wf, err2 := os.Open(*loadWalks)
+			if err2 != nil {
+				fatal(err2)
+			}
+			idx, err = semsim.LoadIndex(wf, g, lin, opts)
+			wf.Close()
+		} else {
+			idx, err = semsim.BuildIndex(g, lin, opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *saveWalks != "" {
+			wf, err := os.Create(*saveWalks)
+			if err != nil {
+				fatal(err)
+			}
+			if err := idx.SaveWalks(wf); err != nil {
+				fatal(err)
+			}
+			if err := wf.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		return idx
+	}
+
+	switch cmd {
+	case "info":
+		st := g.Stats()
+		fmt.Printf("nodes: %d\nedges: %d\nlabels: %d\navg in-degree: %.2f\nmax in-degree: %d\n",
+			st.Nodes, st.Edges, st.Labels, st.AvgInDeg, st.MaxInDeg)
+		fmt.Printf("taxonomy depth: %d, broken cycles: %d\n", tax.MaxDepth(), tax.BrokenCycles())
+		fmt.Printf("decay upper bound (sampled 10k pairs): %.4f\n",
+			semsim.DecayUpperBound(g, lin, 10000))
+	case "query":
+		if *uName == "" || *vName == "" {
+			fatal("query needs -u and -v")
+		}
+		u, v := node(*uName), node(*vName)
+		idx := buildIndex(false)
+		fmt.Printf("sem(%s,%s)     = %.6f\n", *uName, *vName, lin.Sim(u, v))
+		fmt.Printf("SemSim(%s,%s)  = %.6f\n", *uName, *vName, idx.Query(u, v))
+		fmt.Printf("SimRank(%s,%s) = %.6f\n", *uName, *vName, idx.SimRankQuery(u, v))
+	case "topk":
+		if *uName == "" {
+			fatal("topk needs -u")
+		}
+		u := node(*uName)
+		idx := buildIndex(false)
+		for i, s := range idx.TopK(u, *k) {
+			fmt.Printf("%2d. %-30s %.6f\n", i+1, g.NodeName(s.Node), s.Score)
+		}
+	case "single":
+		if *uName == "" {
+			fatal("single needs -u")
+		}
+		u := node(*uName)
+		idx := buildIndex(true)
+		ss, err := idx.SingleSource(u)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d nodes with nonzero estimates; top %d:\n", len(ss), *k)
+		for i, s := range idx.TopK(u, *k) {
+			fmt.Printf("%2d. %-30s %.6f\n", i+1, g.NodeName(s.Node), s.Score)
+		}
+	case "exact":
+		res, err := semsim.Exact(g, lin, semsim.ExactOptions{C: *c, MaxIterations: *iters, Parallel: true})
+		if err != nil {
+			fatal(err)
+		}
+		type pair struct {
+			u, v  semsim.NodeID
+			score float64
+		}
+		var best []pair
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := u + 1; v < g.NumNodes(); v++ {
+				best = append(best, pair{semsim.NodeID(u), semsim.NodeID(v),
+					res.Scores.At(semsim.NodeID(u), semsim.NodeID(v))})
+			}
+		}
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j].score > best[i].score {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+			if i >= *top-1 {
+				break
+			}
+		}
+		limit := *top
+		if limit > len(best) {
+			limit = len(best)
+		}
+		for i := 0; i < limit; i++ {
+			fmt.Printf("%2d. %-25s %-25s %.6f\n", i+1,
+				g.NodeName(best[i].u), g.NodeName(best[i].v), best[i].score)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact} -graph FILE [flags]")
+}
+
+func fatal(v interface{}) {
+	fmt.Fprintln(os.Stderr, "semsim:", v)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Bibliographic reproduces the paper's worked example (Figure 1, Table 1,
+// Example 2.2): who is more similar to Aditi — Bo, who shares her
+// continent, or John, whose research field is semantically closer?
+//
+// SimRank (structure only) is reproduced on the published numbers exactly
+// (R1 = 0.1 for both pairs, R2 = 0.12 vs 0.16 in Bo's favour), while
+// SemSim flips the ordering to John by injecting Lin semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semsim"
+	"semsim/internal/paperexample"
+)
+
+func main() {
+	net, err := paperexample.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph
+	aditi := g.MustNode("Aditi")
+	bo := g.MustNode("Bo")
+	john := g.MustNode("John")
+
+	fmt.Println("Lin scores from Table 1 / Example 2.2:")
+	show := func(a, b string) {
+		fmt.Printf("  Lin(%s, %s) = %.3f\n", a, b, net.Lin.Sim(g.MustNode(a), g.MustNode(b)))
+	}
+	show("Bo", "Aditi")
+	show("John", "Aditi")
+	show("SpatialCrowdsourcing", "CrowdMining")
+	show("WebDataMining", "CrowdMining")
+
+	fmt.Println("\nSimRank iterations (c = 0.8), paper values 0.1/0.1 then 0.12/0.16:")
+	for k := 1; k <= 3; k++ {
+		sr, err := semsim.SimRank(g, semsim.SimRankOptions{C: 0.8, MaxIterations: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  R%d(John,Aditi) = %.4f   R%d(Bo,Aditi) = %.4f\n",
+			k, sr.Scores.At(john, aditi), k, sr.Scores.At(bo, aditi))
+	}
+
+	fmt.Println("\nSemSim iterations (c = 0.8):")
+	for k := 1; k <= 3; k++ {
+		ss, err := semsim.Exact(g, net.Lin, semsim.ExactOptions{C: 0.8, MaxIterations: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  R%d(John,Aditi) = %.6f   R%d(Bo,Aditi) = %.6f\n",
+			k, ss.Scores.At(john, aditi), k, ss.Scores.At(bo, aditi))
+	}
+
+	ss, err := semsim.Exact(g, net.Lin, semsim.ExactOptions{C: 0.8, MaxIterations: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ss.Scores.At(john, aditi) > ss.Scores.At(bo, aditi) {
+		fmt.Println("\n=> SemSim ranks John above Bo, as the paper's Example 2.2 argues;")
+		fmt.Println("   SimRank is misled by the shared continent and prefers Bo.")
+	} else {
+		fmt.Println("\n=> unexpected ordering; see internal/paperexample for the calibration notes")
+	}
+}

@@ -1,0 +1,400 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semsim/internal/hin"
+	"semsim/internal/semantic"
+	"semsim/internal/simmat"
+)
+
+func randomGraph(seed int64, n, m int) *hin.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(name3(i), "t")
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(hin.NodeID(rng.Intn(n)), hin.NodeID(rng.Intn(n)), "e", 0.5+rng.Float64())
+	}
+	return b.MustBuild()
+}
+
+func name3(i int) string {
+	return string([]rune{rune('a' + i%26), rune('a' + (i/26)%26), rune('a' + (i/676)%26)})
+}
+
+// twoCommunities builds two dense clusters bridged by a single edge:
+// similarity measures should score within-cluster pairs above cross pairs.
+func twoCommunities(t *testing.T, size int) *hin.Graph {
+	t.Helper()
+	b := hin.NewBuilder()
+	for i := 0; i < 2*size; i++ {
+		b.AddNode(name3(i), "t")
+	}
+	addClique := func(lo int) {
+		for i := lo; i < lo+size; i++ {
+			for j := i + 1; j < lo+size; j++ {
+				b.AddUndirected(hin.NodeID(i), hin.NodeID(j), "e", 1)
+			}
+		}
+	}
+	addClique(0)
+	addClique(size)
+	b.AddUndirected(0, hin.NodeID(size), "bridge", 1)
+	return b.MustBuild()
+}
+
+func TestPantherCommunityStructure(t *testing.T) {
+	g := twoCommunities(t, 6)
+	p, err := NewPanther(g, 4000, 6, 1)
+	if err != nil {
+		t.Fatalf("NewPanther: %v", err)
+	}
+	within := p.Query(1, 2) // same cluster
+	across := p.Query(1, 8) // different clusters
+	if within <= across {
+		t.Errorf("Panther: within-cluster %v should exceed across %v", within, across)
+	}
+	if got := p.Query(3, 3); got != 1 {
+		t.Errorf("Panther Query(v,v) = %v, want 1", got)
+	}
+}
+
+func TestPantherTopKMatchesQuery(t *testing.T) {
+	g := twoCommunities(t, 5)
+	p, err := NewPanther(g, 1500, 5, 2)
+	if err != nil {
+		t.Fatalf("NewPanther: %v", err)
+	}
+	top := p.TopK(1, 4)
+	if len(top) == 0 {
+		t.Fatal("TopK returned nothing")
+	}
+	for _, s := range top {
+		if got := p.Query(1, s.Node); math.Abs(got-s.Score) > 1e-12 {
+			t.Errorf("TopK score %v != Query %v for node %d", s.Score, got, s.Node)
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("TopK not sorted")
+		}
+	}
+}
+
+func TestPantherValidation(t *testing.T) {
+	g := randomGraph(1, 5, 10)
+	if _, err := NewPanther(g, 0, 5, 1); err == nil {
+		t.Error("want error for R = 0")
+	}
+	if _, err := NewPanther(g, 10, 1, 1); err == nil {
+		t.Error("want error for T < 2")
+	}
+}
+
+func TestPantherDeterministic(t *testing.T) {
+	g := twoCommunities(t, 4)
+	p1, _ := NewPanther(g, 500, 5, 7)
+	p2, _ := NewPanther(g, 500, 5, 7)
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if p1.Query(hin.NodeID(u), hin.NodeID(v)) != p2.Query(hin.NodeID(u), hin.NodeID(v)) {
+				t.Fatal("Panther not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+// pathSimGraph: authors connected to fields via "interest".
+func pathSimGraph(t *testing.T) *hin.Graph {
+	t.Helper()
+	b := hin.NewBuilder()
+	a1 := b.AddNode("a1", "author")
+	a2 := b.AddNode("a2", "author")
+	a3 := b.AddNode("a3", "author")
+	f1 := b.AddNode("f1", "field")
+	f2 := b.AddNode("f2", "field")
+	// a1 and a2 share both fields; a3 touches only f2.
+	b.AddEdge(a1, f1, "interest", 1)
+	b.AddEdge(a1, f2, "interest", 1)
+	b.AddEdge(a2, f1, "interest", 1)
+	b.AddEdge(a2, f2, "interest", 1)
+	b.AddEdge(a3, f2, "interest", 1)
+	return b.MustBuild()
+}
+
+func TestPathSim(t *testing.T) {
+	g := pathSimGraph(t)
+	ps, err := NewPathSim(g, []string{"interest"})
+	if err != nil {
+		t.Fatalf("NewPathSim: %v", err)
+	}
+	a1, a2, a3 := g.MustNode("a1"), g.MustNode("a2"), g.MustNode("a3")
+	// M(a1,a2) = 2 (two shared fields), M(a1,a1) = M(a2,a2) = 2:
+	// s = 2*2/(2+2) = 1.
+	if got := ps.Query(a1, a2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PathSim(a1,a2) = %v, want 1", got)
+	}
+	// M(a1,a3) = 1, M(a3,a3) = 1: s = 2*1/(2+1) = 2/3.
+	if got := ps.Query(a1, a3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("PathSim(a1,a3) = %v, want 2/3", got)
+	}
+	// Symmetry.
+	if ps.Query(a3, a1) != ps.Query(a1, a3) {
+		t.Error("PathSim not symmetric")
+	}
+	if got := ps.Query(a1, a1); got != 1 {
+		t.Errorf("PathSim(v,v) = %v, want 1", got)
+	}
+}
+
+func TestPathSimUnknownLabel(t *testing.T) {
+	g := pathSimGraph(t)
+	ps, err := NewPathSim(g, []string{"no-such-label"})
+	if err != nil {
+		t.Fatalf("NewPathSim: %v", err)
+	}
+	if got := ps.Query(0, 1); got != 0 {
+		t.Errorf("unknown label should score 0, got %v", got)
+	}
+	if _, err := NewPathSim(g, nil); err == nil {
+		t.Error("want error for empty meta-path")
+	}
+}
+
+func TestPathSimWeighted(t *testing.T) {
+	b := hin.NewBuilder()
+	a1 := b.AddNode("a1", "author")
+	a2 := b.AddNode("a2", "author")
+	a3 := b.AddNode("a3", "author")
+	f := b.AddNode("f", "field")
+	b.AddEdge(a1, f, "interest", 5)
+	b.AddEdge(a2, f, "interest", 5)
+	b.AddEdge(a3, f, "interest", 1)
+	g := b.MustBuild()
+	ps, err := NewPathSim(g, []string{"interest"})
+	if err != nil {
+		t.Fatalf("NewPathSim: %v", err)
+	}
+	// Heavy-heavy pair should beat heavy-light.
+	if ps.Query(a1, a2) <= ps.Query(a1, a3) {
+		t.Errorf("weighted PathSim: (a1,a2)=%v should exceed (a1,a3)=%v",
+			ps.Query(a1, a2), ps.Query(a1, a3))
+	}
+}
+
+func TestMultiPathSim(t *testing.T) {
+	g := pathSimGraph(t)
+	m, err := NewMultiPathSim(g, [][]string{{"interest"}, {"no-such"}})
+	if err != nil {
+		t.Fatalf("NewMultiPathSim: %v", err)
+	}
+	single, err := NewPathSim(g, []string{"interest"})
+	if err != nil {
+		t.Fatalf("NewPathSim: %v", err)
+	}
+	a1, a2 := g.MustNode("a1"), g.MustNode("a2")
+	if got, want := m.Query(a1, a2), single.Query(a1, a2)/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MultiPathSim = %v, want %v", got, want)
+	}
+	if _, err := NewMultiPathSim(g, nil); err == nil {
+		t.Error("want error for empty path set")
+	}
+}
+
+func TestLINECommunityStructure(t *testing.T) {
+	g := twoCommunities(t, 8)
+	l, err := TrainLINE(g, LINEOptions{Dim: 16, Samples: 200000, Seed: 3})
+	if err != nil {
+		t.Fatalf("TrainLINE: %v", err)
+	}
+	// Average within vs across similarity over several pairs.
+	var within, across float64
+	pairs := 0
+	for i := 1; i < 7; i++ {
+		within += l.Query(hin.NodeID(i), hin.NodeID(i+1))
+		across += l.Query(hin.NodeID(i), hin.NodeID(i+8))
+		pairs++
+	}
+	within /= float64(pairs)
+	across /= float64(pairs)
+	if within <= across {
+		t.Errorf("LINE: mean within-cluster %v should exceed across %v", within, across)
+	}
+	if got := l.Query(2, 2); got != 1 {
+		t.Errorf("LINE Query(v,v) = %v, want 1", got)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			s := l.Query(hin.NodeID(u), hin.NodeID(v))
+			if s < 0 || s > 1 {
+				t.Fatalf("LINE score %v outside [0,1]", s)
+			}
+		}
+	}
+	if len(l.Vector(0)) != 16 {
+		t.Errorf("Vector dim = %d, want 16", len(l.Vector(0)))
+	}
+}
+
+func TestLINEValidation(t *testing.T) {
+	g := randomGraph(5, 6, 12)
+	if _, err := TrainLINE(g, LINEOptions{Dim: 3}); err == nil {
+		t.Error("want error for odd Dim")
+	}
+	if _, err := TrainLINE(g, LINEOptions{Negative: -1}); err == nil {
+		t.Error("want error for negative Negative")
+	}
+	if _, err := TrainLINE(g, LINEOptions{LearningRate: -0.1}); err == nil {
+		t.Error("want error for negative LearningRate")
+	}
+	b := hin.NewBuilder()
+	b.AddNode("only", "t")
+	lone := b.MustBuild()
+	if _, err := TrainLINE(lone, LINEOptions{}); err == nil {
+		t.Error("want error for edgeless graph")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	a := newAlias([]float64{1, 3})
+	rng := rand.New(rand.NewSource(1))
+	counts := [2]int{}
+	for i := 0; i < 40000; i++ {
+		counts[a.draw(rng)]++
+	}
+	frac := float64(counts[1]) / 40000
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("alias sampled weight-3 item at %v, want ~0.75", frac)
+	}
+	// Degenerate all-zero weights fall back to uniform.
+	z := newAlias([]float64{0, 0, 0})
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[z.draw(rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("zero-weight alias not uniform: %v", seen)
+	}
+}
+
+func TestRelatedness(t *testing.T) {
+	b := hin.NewBuilder()
+	root := b.AddNode("root", "cat")
+	c1 := b.AddNode("c1", "cat")
+	c2 := b.AddNode("c2", "cat")
+	x := b.AddNode("x", "obj")
+	y := b.AddNode("y", "obj")
+	z := b.AddNode("z", "obj")
+	b.AddEdge(c1, root, "is-a", 1)
+	b.AddEdge(c2, root, "is-a", 1)
+	b.AddEdge(x, c1, "is-a", 1)
+	b.AddEdge(y, c1, "is-a", 1)
+	b.AddEdge(z, c2, "is-a", 1)
+	b.AddUndirected(x, z, "related-to", 1)
+	g := b.MustBuild()
+
+	r, err := NewRelatedness(g, RelatednessOptions{})
+	if err != nil {
+		t.Fatalf("NewRelatedness: %v", err)
+	}
+	// Siblings x,y (cost 1.0 via c1) beat cousins y,z (cost 2.0 via root).
+	sxy := r.Query(x, y)
+	syz := r.Query(y, z)
+	if sxy <= syz {
+		t.Errorf("Relatedness: siblings %v should beat cousins %v", sxy, syz)
+	}
+	// The lateral edge makes x,z closer than the taxonomy alone (cost 1.0
+	// lateral vs 2.0 hierarchical).
+	sxz := r.Query(x, z)
+	if sxz <= syz {
+		t.Errorf("Relatedness: lateral path %v should beat taxonomy-only %v", sxz, syz)
+	}
+	if got := r.Query(x, x); got != 1 {
+		t.Errorf("Relatedness(v,v) = %v, want 1", got)
+	}
+	// Symmetry (undirected search).
+	if r.Query(x, y) != r.Query(y, x) {
+		t.Error("Relatedness not symmetric")
+	}
+}
+
+func TestRelatednessUnreachable(t *testing.T) {
+	b := hin.NewBuilder()
+	a := b.AddNode("a", "t")
+	bb := b.AddNode("b", "t")
+	c := b.AddNode("c", "t")
+	d := b.AddNode("d", "t")
+	b.AddEdge(a, bb, "e", 1)
+	b.AddEdge(c, d, "e", 1)
+	g := b.MustBuild()
+	r, err := NewRelatedness(g, RelatednessOptions{})
+	if err != nil {
+		t.Fatalf("NewRelatedness: %v", err)
+	}
+	if got := r.Query(a, d); got != 0 {
+		t.Errorf("unreachable pair scored %v, want 0", got)
+	}
+}
+
+func TestRelatednessValidation(t *testing.T) {
+	g := randomGraph(7, 5, 10)
+	if _, err := NewRelatedness(g, RelatednessOptions{Decay: 1.5}); err == nil {
+		t.Error("want error for decay > 1")
+	}
+	if _, err := NewRelatedness(g, RelatednessOptions{LateralCost: -1}); err == nil {
+		t.Error("want error for negative cost")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	a := FuncScorer{N: "a", F: func(u, v hin.NodeID) float64 { return 0.5 }}
+	b := FuncScorer{N: "b", F: func(u, v hin.NodeID) float64 { return 0.25 }}
+	if got := (Multiplication{a, b}).Query(0, 1); got != 0.125 {
+		t.Errorf("Multiplication = %v, want 0.125", got)
+	}
+	if got := (Average{a, b}).Query(0, 1); got != 0.375 {
+		t.Errorf("Average = %v, want 0.375", got)
+	}
+	if (Multiplication{a, b}).Name() != "Multiplication" || (Average{a, b}).Name() != "Average" {
+		t.Error("combinator names wrong")
+	}
+}
+
+func TestSemanticAndMatrixScorers(t *testing.T) {
+	s := SemanticScorer{M: semantic.Uniform{}}
+	if s.Query(0, 5) != 1 || s.Name() != "Uniform" {
+		t.Error("SemanticScorer adapter broken")
+	}
+	m := simmat.New(3)
+	m.Set(0, 1, 0.4)
+	ms := MatrixScorer{Scores: m, Label: "iter"}
+	if ms.Query(0, 1) != 0.4 || ms.Name() != "iter" {
+		t.Error("MatrixScorer adapter broken")
+	}
+}
+
+func TestTopKHelper(t *testing.T) {
+	g := randomGraph(11, 8, 20)
+	s := FuncScorer{N: "id", F: func(u, v hin.NodeID) float64 { return float64(v) / 10 }}
+	top := TopK(g, s, 2, 3, nil)
+	if len(top) != 3 {
+		t.Fatalf("TopK len = %d, want 3", len(top))
+	}
+	if top[0].Node != 7 {
+		t.Errorf("TopK best = %d, want 7", top[0].Node)
+	}
+	for _, e := range top {
+		if e.Node == 2 {
+			t.Error("TopK included the query node")
+		}
+	}
+	// Candidate restriction.
+	top = TopK(g, s, 2, 3, []hin.NodeID{1, 3})
+	if len(top) != 2 || top[0].Node != 3 {
+		t.Errorf("candidate-restricted TopK = %v", top)
+	}
+}

@@ -1,0 +1,272 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"semsim/internal/hin"
+)
+
+// LINE is the network-embedding similarity of Tang et al. (WWW'15), the
+// representation-learning competitor of Section 5.3: node vectors are
+// trained with first- and second-order proximity objectives via SGD with
+// negative sampling and alias-method edge sampling, and similarity is the
+// (shifted) cosine of the learned vectors.
+type LINE struct {
+	dim  int
+	vecs [][]float64 // final embedding (order-1 and order-2 halves concatenated)
+}
+
+// LINEOptions configure training.
+type LINEOptions struct {
+	// Dim is the final embedding dimension (split evenly between the
+	// first- and second-order halves). Default 32.
+	Dim int
+	// Samples is the number of SGD edge samples per order. Default
+	// 200 * |E|, capped at 5e6.
+	Samples int
+	// Negative is the number of negative samples per edge. Default 5.
+	Negative int
+	// LearningRate is the initial SGD step, decayed linearly to 1% over
+	// training. Default 0.025.
+	LearningRate float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (o *LINEOptions) fill(m int) error {
+	if o.Dim == 0 {
+		o.Dim = 32
+	}
+	if o.Dim < 2 || o.Dim%2 != 0 {
+		return fmt.Errorf("baselines: LINE Dim must be even and >= 2, got %d", o.Dim)
+	}
+	if o.Samples == 0 {
+		o.Samples = 200 * m
+		if o.Samples > 5e6 {
+			o.Samples = 5e6
+		}
+	}
+	if o.Samples < 1 {
+		return fmt.Errorf("baselines: LINE Samples must be >= 1, got %d", o.Samples)
+	}
+	if o.Negative == 0 {
+		o.Negative = 5
+	}
+	if o.Negative < 1 {
+		return fmt.Errorf("baselines: LINE Negative must be >= 1, got %d", o.Negative)
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.025
+	}
+	if o.LearningRate <= 0 {
+		return fmt.Errorf("baselines: LINE LearningRate must be > 0, got %v", o.LearningRate)
+	}
+	return nil
+}
+
+// TrainLINE learns the embedding.
+func TrainLINE(g *hin.Graph, opts LINEOptions) (*LINE, error) {
+	m := g.NumEdges()
+	if m == 0 {
+		return nil, fmt.Errorf("baselines: LINE needs at least one edge")
+	}
+	if err := opts.fill(m); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Edge list + alias table over edge weights.
+	srcs := make([]hin.NodeID, 0, m)
+	dsts := make([]hin.NodeID, 0, m)
+	ews := make([]float64, 0, m)
+	g.Edges(func(e hin.Edge) bool {
+		srcs = append(srcs, e.From)
+		dsts = append(dsts, e.To)
+		ews = append(ews, e.Weight)
+		return true
+	})
+	edgeAlias := newAlias(ews)
+
+	// Negative sampling distribution: out-degree^0.75 (plus smoothing so
+	// isolated nodes remain sampleable).
+	negW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		negW[v] = math.Pow(float64(g.OutDegree(hin.NodeID(v)))+1, 0.75)
+	}
+	negAlias := newAlias(negW)
+
+	half := opts.Dim / 2
+	initVecs := func() [][]float64 {
+		vs := make([][]float64, n)
+		for v := range vs {
+			vec := make([]float64, half)
+			for d := range vec {
+				vec[d] = (rng.Float64() - 0.5) / float64(half)
+			}
+			vs[v] = vec
+		}
+		return vs
+	}
+
+	sigmoid := func(x float64) float64 {
+		if x > 8 {
+			return 1
+		}
+		if x < -8 {
+			return 0
+		}
+		return 1 / (1 + math.Exp(-x))
+	}
+
+	// train runs one objective: order 1 updates both endpoint vectors
+	// symmetrically; order 2 updates a context table for targets.
+	train := func(order int) [][]float64 {
+		vert := initVecs()
+		var ctx [][]float64
+		if order == 2 {
+			ctx = make([][]float64, n)
+			for v := range ctx {
+				ctx[v] = make([]float64, half)
+			}
+		}
+		grad := make([]float64, half)
+		for s := 0; s < opts.Samples; s++ {
+			lr := opts.LearningRate * (1 - float64(s)/float64(opts.Samples)*0.99)
+			e := edgeAlias.draw(rng)
+			u, v := srcs[e], dsts[e]
+			vu := vert[u]
+			for d := range grad {
+				grad[d] = 0
+			}
+			for k := 0; k <= opts.Negative; k++ {
+				var target hin.NodeID
+				var label float64
+				if k == 0 {
+					target, label = v, 1
+				} else {
+					target = hin.NodeID(negAlias.draw(rng))
+					if target == u || target == v {
+						continue
+					}
+					label = 0
+				}
+				tv := vert[target]
+				if order == 2 {
+					tv = ctx[target]
+				}
+				var dot float64
+				for d := range vu {
+					dot += vu[d] * tv[d]
+				}
+				gcoef := (label - sigmoid(dot)) * lr
+				for d := range vu {
+					grad[d] += gcoef * tv[d]
+					tv[d] += gcoef * vu[d]
+				}
+			}
+			for d := range vu {
+				vu[d] += grad[d]
+			}
+		}
+		return vert
+	}
+
+	v1 := train(1)
+	v2 := train(2)
+	l := &LINE{dim: opts.Dim, vecs: make([][]float64, n)}
+	for v := 0; v < n; v++ {
+		vec := make([]float64, 0, opts.Dim)
+		vec = append(vec, v1[v]...)
+		vec = append(vec, v2[v]...)
+		l.vecs[v] = vec
+	}
+	return l, nil
+}
+
+// Query implements Scorer: cosine similarity shifted into [0,1].
+func (l *LINE) Query(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	a, b := l.vecs[u], l.vecs[v]
+	var dot, na, nb float64
+	for d := range a {
+		dot += a[d] * b[d]
+		na += a[d] * a[d]
+		nb += b[d] * b[d]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return (1 + dot/math.Sqrt(na*nb)) / 2
+}
+
+// Name implements Scorer.
+func (l *LINE) Name() string { return "LINE" }
+
+// Vector returns the learned embedding of v (aliased).
+func (l *LINE) Vector(v hin.NodeID) []float64 { return l.vecs[v] }
+
+// alias is a Walker/Vose alias table for O(1) categorical sampling.
+type alias struct {
+	prob  []float64
+	other []int32
+}
+
+func newAlias(weights []float64) *alias {
+	n := len(weights)
+	a := &alias{prob: make([]float64, n), other: make([]int32, n)}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.other[i] = int32(i)
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	var small, large []int32
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.other[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.other[i] = int32(i)
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.other[i] = int32(i)
+	}
+	return a
+}
+
+func (a *alias) draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.other[i])
+}

@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+	"semsim/internal/rank"
+)
+
+// Panther is the random-path similarity of Zhang et al. (KDD'15): sample R
+// random paths of length T; the similarity of u and v is the fraction of
+// sampled paths that contain both. Paths are weighted random walks over
+// out-neighbors, so edge weights steer the sampler exactly as in the
+// original ("a random-walks based measure which considers edge weights",
+// Section 5.3).
+type Panther struct {
+	g *hin.Graph
+	r int
+	t int
+
+	// pathsOf[v] lists the ids of sampled paths containing v (each path
+	// recorded once per vertex).
+	pathsOf [][]int32
+}
+
+// NewPanther samples the path index. R is the number of paths, T the path
+// length (vertices per path).
+func NewPanther(g *hin.Graph, R, T int, seed int64) (*Panther, error) {
+	if R < 1 || T < 2 {
+		return nil, fmt.Errorf("baselines: Panther needs R >= 1 and T >= 2, got R=%d T=%d", R, T)
+	}
+	p := &Panther{g: g, r: R, t: T, pathsOf: make([][]int32, g.NumNodes())}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	seen := make(map[hin.NodeID]bool, T)
+	for id := 0; id < R; id++ {
+		cur := hin.NodeID(rng.Intn(n))
+		for k := range seen {
+			delete(seen, k)
+		}
+		for step := 0; step < T; step++ {
+			if !seen[cur] {
+				seen[cur] = true
+				p.pathsOf[cur] = append(p.pathsOf[cur], int32(id))
+			}
+			nb := g.OutNeighbors(cur)
+			if len(nb) == 0 {
+				break
+			}
+			ws := g.OutWeights(cur)
+			var total float64
+			for _, w := range ws {
+				total += w
+			}
+			r := rng.Float64() * total
+			next := nb[len(nb)-1]
+			for i, w := range ws {
+				r -= w
+				if r < 0 {
+					next = nb[i]
+					break
+				}
+			}
+			cur = next
+		}
+	}
+	return p, nil
+}
+
+// Query implements Scorer: |paths containing u and v| / R.
+func (p *Panther) Query(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	return float64(intersectSize(p.pathsOf[u], p.pathsOf[v])) / float64(p.r)
+}
+
+// Name implements Scorer.
+func (p *Panther) Name() string { return "Panther" }
+
+// TopK exploits the inverted index: only vertices co-occurring with u on
+// some path can score > 0, so candidates are gathered from u's paths. This
+// is the indexing trick that makes Panther fast for top-k search.
+func (p *Panther) TopK(u hin.NodeID, k int) []rank.Scored {
+	counts := make(map[hin.NodeID]int)
+	member := make(map[int32]bool, len(p.pathsOf[u]))
+	for _, id := range p.pathsOf[u] {
+		member[id] = true
+	}
+	for v := range p.pathsOf {
+		if hin.NodeID(v) == u {
+			continue
+		}
+		for _, id := range p.pathsOf[v] {
+			if member[id] {
+				counts[hin.NodeID(v)]++
+			}
+		}
+	}
+	h := rank.NewTopK(k)
+	for v, c := range counts {
+		h.Push(rank.Scored{Node: v, Score: float64(c) / float64(p.r)})
+	}
+	return h.Sorted()
+}
+
+// intersectSize counts common elements of two ascending int32 slices.
+func intersectSize(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+// Package baselines implements the competitor similarity measures of the
+// paper's quality evaluation (Section 5.3): Panther random-path similarity,
+// PathSim meta-path similarity, LINE node embeddings, the Relatedness
+// ontology-path measure, and the Multiplication/Average combinators of
+// independent structural and semantic scores.
+package baselines
+
+import (
+	"semsim/internal/hin"
+	"semsim/internal/rank"
+	"semsim/internal/semantic"
+	"semsim/internal/simmat"
+)
+
+// Scorer is the uniform query interface every baseline (and the SemSim /
+// SimRank estimators) satisfies; the evaluation harnesses are written
+// against it.
+type Scorer interface {
+	// Query returns a similarity score for (u,v); higher is more similar.
+	Query(u, v hin.NodeID) float64
+	// Name identifies the measure in reports.
+	Name() string
+}
+
+// SemanticScorer adapts a semantic.Measure (e.g. Lin) to the Scorer
+// interface — the paper's "semantic similarity measures" baseline family.
+type SemanticScorer struct {
+	M semantic.Measure
+}
+
+// Query implements Scorer.
+func (s SemanticScorer) Query(u, v hin.NodeID) float64 { return s.M.Sim(u, v) }
+
+// Name implements Scorer.
+func (s SemanticScorer) Name() string { return s.M.Name() }
+
+// MatrixScorer serves queries from a precomputed score matrix (iterative
+// SimRank, SimRank++, SemSim ground truth).
+type MatrixScorer struct {
+	Scores *simmat.Matrix
+	Label  string
+}
+
+// Query implements Scorer.
+func (m MatrixScorer) Query(u, v hin.NodeID) float64 { return m.Scores.At(u, v) }
+
+// Name implements Scorer.
+func (m MatrixScorer) Name() string { return m.Label }
+
+// Multiplication returns the product of two independent scores — the
+// paper's "Multiplication" competitor (SimRank x Lin).
+type Multiplication struct {
+	A, B Scorer
+}
+
+// Query implements Scorer.
+func (m Multiplication) Query(u, v hin.NodeID) float64 { return m.A.Query(u, v) * m.B.Query(u, v) }
+
+// Name implements Scorer.
+func (m Multiplication) Name() string { return "Multiplication" }
+
+// Average returns the mean of two independent scores — the paper's
+// "Average" competitor.
+type Average struct {
+	A, B Scorer
+}
+
+// Query implements Scorer.
+func (a Average) Query(u, v hin.NodeID) float64 { return (a.A.Query(u, v) + a.B.Query(u, v)) / 2 }
+
+// Name implements Scorer.
+func (a Average) Name() string { return "Average" }
+
+// FuncScorer adapts a plain function.
+type FuncScorer struct {
+	F func(u, v hin.NodeID) float64
+	N string
+}
+
+// Query implements Scorer.
+func (f FuncScorer) Query(u, v hin.NodeID) float64 { return f.F(u, v) }
+
+// Name implements Scorer.
+func (f FuncScorer) Name() string { return f.N }
+
+// TopK runs a brute-force top-k similarity search for u under any Scorer,
+// optionally restricted to candidate nodes (nil means all). Zero scores
+// are omitted.
+func TopK(g *hin.Graph, s Scorer, u hin.NodeID, k int, candidates []hin.NodeID) []rank.Scored {
+	h := rank.NewTopK(k)
+	push := func(v hin.NodeID) {
+		if v == u {
+			return
+		}
+		if sc := s.Query(u, v); sc > 0 {
+			h.Push(rank.Scored{Node: v, Score: sc})
+		}
+	}
+	if candidates != nil {
+		for _, v := range candidates {
+			push(v)
+		}
+	} else {
+		for v := 0; v < g.NumNodes(); v++ {
+			push(hin.NodeID(v))
+		}
+	}
+	return h.Sorted()
+}

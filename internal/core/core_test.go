@@ -1,0 +1,449 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semsim/internal/hin"
+	"semsim/internal/paperexample"
+	"semsim/internal/semantic"
+	"semsim/internal/simrank"
+	"semsim/internal/taxonomy"
+)
+
+func randomGraph(seed int64, n, m int, weighted bool) *hin.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(name3(i), "t")
+	}
+	for i := 0; i < m; i++ {
+		w := 1.0
+		if weighted {
+			w = 0.5 + rng.Float64()
+		}
+		b.AddEdge(hin.NodeID(rng.Intn(n)), hin.NodeID(rng.Intn(n)), "e", w)
+	}
+	return b.MustBuild()
+}
+
+func name3(i int) string {
+	return string([]rune{rune('a' + i%26), rune('a' + (i/26)%26), rune('a' + (i/676)%26)})
+}
+
+// randomMeasure builds an admissible semantic measure with random (0,1]
+// scores, symmetric and with unit diagonal.
+func randomMeasure(seed int64, n int) semantic.Measure {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n*n)
+	for u := 0; u < n; u++ {
+		vals[u*n+u] = 1
+		for v := u + 1; v < n; v++ {
+			s := 0.05 + 0.95*rng.Float64()
+			vals[u*n+v] = s
+			vals[v*n+u] = s
+		}
+	}
+	return semantic.Func{N: "random", F: func(u, v hin.NodeID) float64 {
+		return vals[int(u)*n+int(v)]
+	}}
+}
+
+// TestUniformSemanticsEqualsSimRank: with the Uniform measure and unit
+// weights, Equation 3 degenerates to SimRank exactly — the differential
+// oracle for the whole implementation.
+func TestUniformSemanticsEqualsSimRank(t *testing.T) {
+	g := randomGraph(7, 14, 50, false)
+	ss, err := Iterative(g, semantic.Uniform{}, IterOptions{C: 0.6, MaxIterations: 7})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	sr, err := simrank.Iterative(g, simrank.IterOptions{C: 0.6, MaxIterations: 7})
+	if err != nil {
+		t.Fatalf("simrank.Iterative: %v", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			a := ss.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			b := sr.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("SemSim(Uniform) %v != SimRank %v at (%d,%d)", a, b, u, v)
+			}
+		}
+	}
+}
+
+// TestTheorem23Invariants checks symmetry, unit diagonal, range and
+// monotonicity across iterations (Theorem 2.3).
+func TestTheorem23Invariants(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 10, 35, true)
+		m := randomMeasure(seed+1, g.NumNodes())
+		var prevScores [][]float64
+		for k := 1; k <= 4; k++ {
+			res, err := Iterative(g, m, IterOptions{C: 0.6, MaxIterations: k})
+			if err != nil {
+				return false
+			}
+			n := g.NumNodes()
+			cur := make([][]float64, n)
+			for u := 0; u < n; u++ {
+				cur[u] = make([]float64, n)
+				for v := 0; v < n; v++ {
+					s := res.Scores.At(hin.NodeID(u), hin.NodeID(v))
+					cur[u][v] = s
+					if s < 0 || s > 1 {
+						return false
+					}
+					if s != res.Scores.At(hin.NodeID(v), hin.NodeID(u)) {
+						return false
+					}
+				}
+				if cur[u][u] != 1 {
+					return false
+				}
+			}
+			if prevScores != nil {
+				for u := 0; u < n; u++ {
+					for v := 0; v < n; v++ {
+						if cur[u][v] < prevScores[u][v]-1e-12 {
+							return false // monotonicity violated
+						}
+					}
+				}
+			}
+			prevScores = cur
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProposition24 checks the per-iteration delta bound
+// R_{k+1}(u,v) - R_k(u,v) <= sem(u,v) * c^{k+1}.
+func TestProposition24(t *testing.T) {
+	g := randomGraph(5, 12, 45, true)
+	m := randomMeasure(6, g.NumNodes())
+	c := 0.6
+	var prev *Result
+	for k := 1; k <= 6; k++ {
+		res, err := Iterative(g, m, IterOptions{C: c, MaxIterations: k})
+		if err != nil {
+			t.Fatalf("Iterative: %v", err)
+		}
+		if prev != nil {
+			for u := 0; u < g.NumNodes(); u++ {
+				for v := 0; v < g.NumNodes(); v++ {
+					diff := res.Scores.At(hin.NodeID(u), hin.NodeID(v)) -
+						prev.Scores.At(hin.NodeID(u), hin.NodeID(v))
+					bound := m.Sim(hin.NodeID(u), hin.NodeID(v))*math.Pow(c, float64(k)) + 1e-12
+					if diff > bound {
+						t.Fatalf("iteration %d: delta %v at (%d,%d) exceeds sem*c^k = %v",
+							k, diff, u, v, bound)
+					}
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+// TestProposition25 checks sim(u,v) <= sem(u,v).
+func TestProposition25(t *testing.T) {
+	g := randomGraph(9, 12, 50, true)
+	m := randomMeasure(10, g.NumNodes())
+	res, err := Iterative(g, m, IterOptions{C: 0.8, MaxIterations: 10})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	if u, v, ok := SemBound(res.Scores, m); !ok {
+		t.Fatalf("Prop 2.5 violated at (%d,%d): sim=%v > sem=%v",
+			u, v, res.Scores.At(u, v), m.Sim(u, v))
+	}
+}
+
+func TestEmptyInNeighborhoodZero(t *testing.T) {
+	b := hin.NewBuilder()
+	x := b.AddNode("x", "t")
+	a := b.AddNode("a", "t")
+	c := b.AddNode("b", "t")
+	b.AddEdge(x, a, "e", 1)
+	b.AddEdge(x, c, "e", 1)
+	g := b.MustBuild()
+	res, err := Iterative(g, semantic.Uniform{}, IterOptions{C: 0.6, MaxIterations: 4})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	if got := res.Scores.At(x, a); got != 0 {
+		t.Errorf("sim(x,a) = %v, want 0 (x has no in-neighbors)", got)
+	}
+	if got := res.Scores.At(a, c); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("sim(a,b) = %v, want 0.6", got)
+	}
+}
+
+func TestWeightsMatter(t *testing.T) {
+	// a and b share in-neighbors {x,y}; with x's edges heavy, pairs
+	// through x dominate. Compare SemSim under a measure where
+	// sem(x,x)=1 but cross pairs are tiny: heavier shared weight should
+	// raise the score versus the unit-weight graph.
+	build := func(w float64) *hin.Graph {
+		b := hin.NewBuilder()
+		x := b.AddNode("x", "t")
+		y := b.AddNode("y", "t")
+		a := b.AddNode("a", "t")
+		bb := b.AddNode("b", "t")
+		b.AddEdge(x, a, "e", w)
+		b.AddEdge(x, bb, "e", w)
+		b.AddEdge(y, a, "e", 1)
+		b.AddEdge(y, bb, "e", 1)
+		return b.MustBuild()
+	}
+	m := semantic.Func{N: "xOnly", F: func(u, v hin.NodeID) float64 {
+		if u == v {
+			return 1
+		}
+		return 0.01
+	}}
+	resHeavy, err := Iterative(build(10), m, IterOptions{C: 0.6, MaxIterations: 3})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	resUnit, err := Iterative(build(1), m, IterOptions{C: 0.6, MaxIterations: 3})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	heavy := resHeavy.Scores.At(2, 3)
+	unit := resUnit.Scores.At(2, 3)
+	if heavy <= unit {
+		t.Errorf("heavier identical-neighbor weights should raise score: heavy=%v unit=%v", heavy, unit)
+	}
+}
+
+// TestPaperExample22 reproduces Example 2.2 on the Figure 1 network.
+// SimRank's published iterates are matched exactly (R1 = 0.1 for both
+// pairs; R2 = 0.12 for John/Aditi vs 0.16 for Bo/Aditi — SimRank is misled
+// by the shared continent), while SemSim flips the ordering: John/Aditi
+// exceeds Bo/Aditi, with both bounded by sem = Lin(authors) = 0.01
+// (Prop 2.5).
+func TestPaperExample22(t *testing.T) {
+	net, err := paperexample.Build()
+	if err != nil {
+		t.Fatalf("paperexample.Build: %v", err)
+	}
+	g := net.Graph
+	aditi, bo, john := g.MustNode("Aditi"), g.MustNode("Bo"), g.MustNode("John")
+
+	// SimRank R1: both pairs at exactly 0.1.
+	sr1, err := simrank.Iterative(g, simrank.IterOptions{C: 0.8, MaxIterations: 1})
+	if err != nil {
+		t.Fatalf("SimRank: %v", err)
+	}
+	if got := sr1.Scores.At(john, aditi); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("SimRank R1(John,Aditi) = %v, want 0.1", got)
+	}
+	if got := sr1.Scores.At(bo, aditi); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("SimRank R1(Bo,Aditi) = %v, want 0.1", got)
+	}
+
+	// SimRank R2: 0.12 vs 0.16, the published values.
+	sr2, err := simrank.Iterative(g, simrank.IterOptions{C: 0.8, MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("SimRank: %v", err)
+	}
+	if got := sr2.Scores.At(john, aditi); math.Abs(got-0.12) > 1e-9 {
+		t.Errorf("SimRank R2(John,Aditi) = %v, want 0.12", got)
+	}
+	if got := sr2.Scores.At(bo, aditi); math.Abs(got-0.16) > 1e-9 {
+		t.Errorf("SimRank R2(Bo,Aditi) = %v, want 0.16", got)
+	}
+
+	// SemSim at k = 2 and k = 3: John above Bo, both under the 0.01
+	// semantic bound.
+	for _, k := range []int{2, 3} {
+		ss, err := Iterative(g, net.Lin, IterOptions{C: 0.8, MaxIterations: k})
+		if err != nil {
+			t.Fatalf("SemSim: %v", err)
+		}
+		semJohn := ss.Scores.At(john, aditi)
+		semBo := ss.Scores.At(bo, aditi)
+		if semJohn <= semBo {
+			t.Errorf("k=%d: SemSim John/Aditi (%v) should exceed Bo/Aditi (%v)", k, semJohn, semBo)
+		}
+		if semJohn > 0.01+1e-9 || semBo > 0.01+1e-9 {
+			t.Errorf("k=%d: scores %v, %v exceed the semantic bound 0.01", k, semJohn, semBo)
+		}
+		if semJohn < 0.003 {
+			t.Errorf("k=%d: SemSim John/Aditi = %v implausibly small", k, semJohn)
+		}
+	}
+}
+
+// TestSameLabelOnly covers the restricted formulation of Section 2.2.
+func TestSameLabelOnly(t *testing.T) {
+	// x -"a"-> u, x -"a"-> v, y -"b"-> u, z -"c"-> v: under the
+	// restriction only the (x,x) same-label pair contributes.
+	b := hin.NewBuilder()
+	x := b.AddNode("x", "t")
+	y := b.AddNode("y", "t")
+	z := b.AddNode("z", "t")
+	u := b.AddNode("u", "t")
+	v := b.AddNode("v", "t")
+	b.AddEdge(x, u, "a", 1)
+	b.AddEdge(x, v, "a", 1)
+	b.AddEdge(y, u, "b", 1)
+	b.AddEdge(z, v, "c", 1)
+	g := b.MustBuild()
+
+	restricted, err := Iterative(g, semantic.Uniform{}, IterOptions{C: 0.6, MaxIterations: 4, SameLabelOnly: true})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	// N = W*W*sem over the single same-label pair (x,x) = 1; numerator
+	// R(x,x) = 1 -> score = c.
+	if got := restricted.Scores.At(u, v); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("restricted sim(u,v) = %v, want 0.6", got)
+	}
+
+	full, err := Iterative(g, semantic.Uniform{}, IterOptions{C: 0.6, MaxIterations: 4})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	// The unrestricted variant also counts cross-label neighbor pairs
+	// (x,z), (y,x), (y,z) with R = 0, diluting the score below c.
+	if fullScore := full.Scores.At(u, v); fullScore >= 0.6 {
+		t.Errorf("full sim(u,v) = %v, want < 0.6 (cross-label dilution)", fullScore)
+	}
+
+	// A pair with no same-label in-edges scores 0 under the restriction.
+	b2 := hin.NewBuilder()
+	p := b2.AddNode("p", "t")
+	q := b2.AddNode("q", "t")
+	r := b2.AddNode("r", "t")
+	b2.AddEdge(p, q, "a", 1)
+	b2.AddEdge(p, r, "b", 1)
+	g2 := b2.MustBuild()
+	res2, err := Iterative(g2, semantic.Uniform{}, IterOptions{C: 0.6, MaxIterations: 3, SameLabelOnly: true})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	if got := res2.Scores.At(q, r); got != 0 {
+		t.Errorf("no-same-label pair scored %v, want 0", got)
+	}
+}
+
+// TestSameLabelOnlyInvariants: the restriction preserves Theorem 2.3.
+func TestSameLabelOnlyInvariants(t *testing.T) {
+	g := randomGraph(41, 12, 45, true)
+	m := randomMeasure(42, 12)
+	res, err := Iterative(g, m, IterOptions{C: 0.7, MaxIterations: 6, SameLabelOnly: true})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			s := res.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if s < 0 || s > 1 {
+				t.Fatalf("score %v out of range", s)
+			}
+			if s != res.Scores.At(hin.NodeID(v), hin.NodeID(u)) {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+}
+
+func TestDecayUpperBound(t *testing.T) {
+	net, err := paperexample.Build()
+	if err != nil {
+		t.Fatalf("paperexample.Build: %v", err)
+	}
+	bound := DecayUpperBound(net.Graph, net.Lin, 0)
+	if bound <= 0 || bound > 1 {
+		t.Fatalf("DecayUpperBound = %v out of (0,1]", bound)
+	}
+	// Sampled variant can only be >= the exact bound (it sees fewer pairs).
+	sampled := DecayUpperBound(net.Graph, net.Lin, 10)
+	if sampled < bound-1e-12 {
+		t.Errorf("sampled bound %v below exact %v", sampled, bound)
+	}
+}
+
+func TestDecayUpperBoundUniformUnitWeights(t *testing.T) {
+	// With Uniform sem and unit weights N(u,v) = |I(u)|*|I(v)| >= 1, so
+	// the bound saturates at 1.
+	g := randomGraph(13, 10, 40, false)
+	if got := DecayUpperBound(g, semantic.Uniform{}, 0); got != 1 {
+		t.Errorf("bound = %v, want 1", got)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(17, 70, 400, true)
+	m := semantic.Uniform{}
+	serial, err := Iterative(g, m, IterOptions{C: 0.6, MaxIterations: 4})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	par, err := Iterative(g, m, IterOptions{C: 0.6, MaxIterations: 4, Parallel: true})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if serial.Scores.At(hin.NodeID(u), hin.NodeID(v)) != par.Scores.At(hin.NodeID(u), hin.NodeID(v)) {
+				t.Fatalf("parallel result differs at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := randomGraph(1, 5, 10, false)
+	if _, err := Iterative(g, semantic.Uniform{}, IterOptions{C: 1.5}); err == nil {
+		t.Error("want error for c > 1")
+	}
+	if _, err := Iterative(g, semantic.Uniform{}, IterOptions{MaxIterations: -1}); err == nil {
+		t.Error("want error for negative iterations")
+	}
+}
+
+// TestConvergenceFasterThanSimRank reproduces the Figure 3 claim on a
+// weighted random graph with a real taxonomy-backed measure: SemSim's
+// average absolute deltas are no larger than SimRank's at every iteration.
+func TestConvergenceFasterThanSimRank(t *testing.T) {
+	g := randomGraph(23, 20, 90, true)
+	// Build a shallow random taxonomy over the nodes.
+	parents := make([]int32, g.NumNodes())
+	rng := rand.New(rand.NewSource(2))
+	for i := range parents {
+		if i < 4 {
+			parents[i] = -1
+		} else {
+			parents[i] = int32(rng.Intn(4))
+		}
+	}
+	tax, err := taxonomy.FromParents(parents, taxonomy.Options{})
+	if err != nil {
+		t.Fatalf("taxonomy: %v", err)
+	}
+	lin := semantic.Lin{Tax: tax}
+	ss, err := Iterative(g, lin, IterOptions{C: 0.6, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("SemSim: %v", err)
+	}
+	sr, err := simrank.Iterative(g, simrank.IterOptions{C: 0.6, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("SimRank: %v", err)
+	}
+	for i := range ss.Deltas {
+		if ss.Deltas[i].AvgAbs > sr.Deltas[i].AvgAbs+1e-9 {
+			t.Errorf("iteration %d: SemSim avg abs delta %v exceeds SimRank's %v",
+				i+1, ss.Deltas[i].AvgAbs, sr.Deltas[i].AvgAbs)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+)
+
+// AmazonConfig sizes the synthetic co-purchase network.
+type AmazonConfig struct {
+	// Items is the number of products. Default 1000.
+	Items int
+	// CoPurchaseFactor is the number of co-purchase edges per item.
+	// Default 4.
+	CoPurchaseFactor int
+	// CatDepth and CatBranch shape the product-category tree.
+	// Defaults 3, 4.
+	CatDepth  int
+	CatBranch int
+	Seed      int64
+}
+
+func (c *AmazonConfig) fill() error {
+	if c.Items == 0 {
+		c.Items = 1000
+	}
+	if c.CoPurchaseFactor == 0 {
+		c.CoPurchaseFactor = 4
+	}
+	if c.CatDepth == 0 {
+		c.CatDepth = 3
+	}
+	if c.CatBranch == 0 {
+		c.CatBranch = 4
+	}
+	if c.Items < 2 || c.CoPurchaseFactor < 1 || c.CatDepth < 1 || c.CatBranch < 1 {
+		return fmt.Errorf("datagen: invalid Amazon config %+v", *c)
+	}
+	return nil
+}
+
+// Amazon generates the synthetic product network: items under a category
+// taxonomy, with weighted co-purchase edges (weight = number of times two
+// items were bought together). Co-purchases are biased towards items in
+// the same category subtree, which is what gives link prediction its
+// semantic signal.
+func Amazon(cfg AmazonConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := hin.NewBuilder()
+	freq := make(map[hin.NodeID]float64)
+
+	_, leaves := buildTaxTree(b, taxTreeSpec{prefix: "cat", label: "category", depth: cfg.CatDepth, branch: cfg.CatBranch}, rng)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("datagen: category taxonomy has no leaves")
+	}
+
+	// Items placed under Zipf-popular leaf categories.
+	items := make([]hin.NodeID, cfg.Items)
+	itemCat := make([]int, cfg.Items)
+	zipfCat := rand.NewZipf(rng, 1.2, 2, uint64(len(leaves)-1))
+	byCat := make([][]hin.NodeID, len(leaves))
+	for i := range items {
+		items[i] = b.AddNode(fmt.Sprintf("item-%d", i), "item")
+		ci := int(zipfCat.Uint64())
+		itemCat[i] = ci
+		addISA(b, items[i], leaves[ci])
+		byCat[ci] = append(byCat[ci], items[i])
+		freq[leaves[ci]]++
+	}
+
+	// Sibling leaf categories (same parent in the generated tree) sit
+	// next to each other in the leaves slice; group them so co-purchases
+	// can spread across semantically close categories.
+	siblingOf := func(ci int) int {
+		group := ci / 4 // buildTaxTree branches ~4 per parent
+		lo, hi := group*4, group*4+4
+		if hi > len(leaves) {
+			hi = len(leaves)
+		}
+		return lo + rng.Intn(hi-lo)
+	}
+
+	// Co-purchases: 55% within the same leaf category, 20% in a sibling
+	// category, preferential otherwise; weights are repeat-purchase
+	// counts. The category bias is the semantic signal link prediction
+	// exploits.
+	var pa prefAttach
+	zipfW := rand.NewZipf(rng, 1.4, 1, 19)
+	for i := 1; i < cfg.Items; i++ {
+		edges := 1 + rng.Intn(cfg.CoPurchaseFactor)
+		for e := 0; e < edges; e++ {
+			var partner hin.NodeID
+			r := rng.Float64()
+			switch {
+			case r < 0.55 && len(byCat[itemCat[i]]) > 1:
+				sameCat := byCat[itemCat[i]]
+				partner = sameCat[rng.Intn(len(sameCat))]
+			case r < 0.75:
+				if sib := byCat[siblingOf(itemCat[i])]; len(sib) > 0 {
+					partner = sib[rng.Intn(len(sib))]
+				} else {
+					partner = pa.pick(rng, func() hin.NodeID { return items[rng.Intn(i)] })
+				}
+			default:
+				partner = pa.pick(rng, func() hin.NodeID { return items[rng.Intn(i)] })
+			}
+			if partner == items[i] {
+				continue
+			}
+			w := float64(1 + zipfW.Uint64())
+			b.AddUndirected(items[i], partner, "co-purchase", w)
+			pa.add(partner)
+		}
+		pa.add(items[i])
+	}
+
+	return finish("Amazon", "item", "co-purchase", b, freq)
+}

@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+)
+
+// AMinerConfig sizes the synthetic bibliographic network. The defaults
+// mirror the paper's "small" AMiner version proportions (weighted
+// co-author graph over database venues with a CS-term and geography
+// taxonomy).
+type AMinerConfig struct {
+	// Authors is the number of author nodes. Default 1000.
+	Authors int
+	// CollabFactor is the number of co-author edges per author. Default 3.
+	CollabFactor int
+	// TermDepth and TermBranch shape the CS-term taxonomy. Defaults 3, 4.
+	TermDepth  int
+	TermBranch int
+	// TermsPerAuthor is how many fields of interest each author links to.
+	// Default 2.
+	TermsPerAuthor int
+	// Countries is the number of country nodes under 4 regions.
+	// Default 20.
+	Countries int
+	Seed      int64
+}
+
+func (c *AMinerConfig) fill() error {
+	if c.Authors == 0 {
+		c.Authors = 1000
+	}
+	if c.CollabFactor == 0 {
+		c.CollabFactor = 3
+	}
+	if c.TermDepth == 0 {
+		c.TermDepth = 3
+	}
+	if c.TermBranch == 0 {
+		c.TermBranch = 4
+	}
+	if c.TermsPerAuthor == 0 {
+		c.TermsPerAuthor = 2
+	}
+	if c.Countries == 0 {
+		c.Countries = 20
+	}
+	if c.Authors < 2 || c.CollabFactor < 1 || c.TermDepth < 1 || c.TermBranch < 1 ||
+		c.TermsPerAuthor < 1 || c.Countries < 1 {
+		return fmt.Errorf("datagen: invalid AMiner config %+v", *c)
+	}
+	return nil
+}
+
+// AMiner generates the synthetic bibliographic network: authors with
+// preferential-attachment collaborations (weights = collaboration counts),
+// Zipf-popular fields of interest from a CS-term taxonomy (weights = term
+// prevalence in the author's papers), countries of origin under a
+// geographic taxonomy, and an Author category.
+func AMiner(cfg AMinerConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := hin.NewBuilder()
+	freq := make(map[hin.NodeID]float64)
+
+	// Category spine.
+	authorCat := b.AddNode("cat:Author", "category")
+
+	// CS-term taxonomy.
+	_, terms := buildTaxTree(b, taxTreeSpec{prefix: "term", label: "term", depth: cfg.TermDepth, branch: cfg.TermBranch}, rng)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("datagen: term taxonomy has no leaves")
+	}
+
+	// Geography: regions then countries.
+	geoRoot := b.AddNode("geo:Country", "category")
+	regions := make([]hin.NodeID, 4)
+	for i := range regions {
+		regions[i] = b.AddNode(fmt.Sprintf("geo:Region-%d", i), "category")
+		addISA(b, regions[i], geoRoot)
+	}
+	countries := make([]hin.NodeID, cfg.Countries)
+	for i := range countries {
+		countries[i] = b.AddNode(fmt.Sprintf("geo:Country-%d", i), "country")
+		addISA(b, countries[i], regions[i%len(regions)])
+	}
+
+	// Authors.
+	authors := make([]hin.NodeID, cfg.Authors)
+	for i := range authors {
+		authors[i] = b.AddNode(fmt.Sprintf("author-%d", i), "author")
+		addISA(b, authors[i], authorCat)
+	}
+
+	// Collaborations: preferential attachment with collaboration-count
+	// weights.
+	var pa prefAttach
+	zipfW := rand.NewZipf(rng, 1.5, 1, 9)
+	for i := 1; i < cfg.Authors; i++ {
+		edges := 1 + rng.Intn(cfg.CollabFactor)
+		for e := 0; e < edges; e++ {
+			partner := pa.pick(rng, func() hin.NodeID {
+				return authors[rng.Intn(i)]
+			})
+			if partner == authors[i] {
+				continue
+			}
+			w := float64(1 + zipfW.Uint64())
+			b.AddUndirected(authors[i], partner, "co-author", w)
+			pa.add(partner)
+		}
+		pa.add(authors[i])
+	}
+
+	// Fields of interest: Zipf-popular terms, weight = prevalence of the
+	// term in the author's papers.
+	zipfTerm := rand.NewZipf(rng, 1.3, 2, uint64(len(terms)-1))
+	for _, a := range authors {
+		seen := map[hin.NodeID]bool{}
+		for k := 0; k < cfg.TermsPerAuthor; k++ {
+			term := terms[zipfTerm.Uint64()]
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			w := float64(1 + zipfW.Uint64())
+			b.AddUndirected(a, term, "interest", w)
+			freq[term] += w
+		}
+		// Country of origin, Zipf-popular.
+		country := countries[int(rand.NewZipf(rng, 1.2, 3, uint64(len(countries)-1)).Uint64())]
+		b.AddUndirected(a, country, "origin", 1)
+		freq[country]++
+		freq[authorCat]++
+	}
+
+	return finish("AMiner", "author", "co-author", b, freq)
+}

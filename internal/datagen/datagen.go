@@ -1,0 +1,126 @@
+// Package datagen synthesizes the experimental datasets of the paper's
+// Section 5. The real corpora (AMiner, Amazon co-purchase, Wikipedia,
+// WordNet) are not redistributable inside this repository, so seeded
+// generators produce graphs with the same shape: heterogeneous node/edge
+// labels, weighted relations with skewed (preferential-attachment) degree
+// distributions, Zipf-popular semantic categories, and a deep "is-a"
+// taxonomy aligned with the instances. See DESIGN.md ("Substitutions") for
+// the per-dataset preservation argument.
+//
+// Edge conventions shared by all generators:
+//   - relations (co-author, co-purchase, link, ...) are undirected (both
+//     directions are materialized);
+//   - taxonomy edges are "is-a" child->parent, each mirrored by a
+//     "has-instance" parent->child edge so that categories participate in
+//     the structural neighborhoods exactly as drawn in the paper's
+//     Figure 1.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+	"semsim/internal/semantic"
+	"semsim/internal/taxonomy"
+)
+
+// Dataset bundles a generated graph with its taxonomy and Lin measure.
+type Dataset struct {
+	Name  string
+	Graph *hin.Graph
+	Tax   *taxonomy.Taxonomy
+	// Lin is the taxonomy-backed Lin measure (frequency-blended IC when
+	// the generator tracks occurrence counts).
+	Lin semantic.Lin
+	// EntityLabel is the vertex label of the dataset's first-class
+	// objects (authors, items, articles, nouns).
+	EntityLabel string
+	// RelationLabel is the primary structural relation (co-author,
+	// co-purchase, link, part-of) — also the default PathSim meta-path.
+	RelationLabel string
+}
+
+// Entities returns the ids of the dataset's first-class objects.
+func (d *Dataset) Entities() []hin.NodeID { return d.Graph.NodesWithLabel(d.EntityLabel) }
+
+// taxTreeSpec describes a generated category tree.
+type taxTreeSpec struct {
+	prefix string
+	label  string
+	depth  int
+	branch int
+}
+
+// buildTaxTree adds a category tree to b and returns (root, leaves).
+func buildTaxTree(b *hin.Builder, spec taxTreeSpec, rng *rand.Rand) (hin.NodeID, []hin.NodeID) {
+	root := b.AddNode(spec.prefix, spec.label)
+	level := []hin.NodeID{root}
+	for d := 1; d <= spec.depth; d++ {
+		var next []hin.NodeID
+		for _, parent := range level {
+			// Vary the branch factor a little for irregular shapes.
+			k := spec.branch
+			if k > 2 {
+				k += rng.Intn(3) - 1
+			}
+			for c := 0; c < k; c++ {
+				name := fmt.Sprintf("%s/%s-%d", b.NodeName(parent), spec.prefix, c)
+				child := b.AddNode(name, spec.label)
+				addISA(b, child, parent)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return root, level
+}
+
+// addISA wires child->parent "is-a" plus the reverse "has-instance".
+func addISA(b *hin.Builder, child, parent hin.NodeID) {
+	b.AddEdge(child, parent, "is-a", 1)
+	b.AddEdge(parent, child, "has-instance", 1)
+}
+
+// finish builds the graph, taxonomy and Lin measure. freqOf maps node ids
+// to occurrence counts (may be nil).
+func finish(name, entityLabel, relationLabel string, b *hin.Builder, freq map[hin.NodeID]float64) (*Dataset, error) {
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	var freqSlice []float64
+	if freq != nil {
+		freqSlice = make([]float64, g.NumNodes())
+		for v, f := range freq {
+			freqSlice[v] = f
+		}
+	}
+	tax, err := taxonomy.FromGraph(g, taxonomy.Options{Frequency: freqSlice})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:          name,
+		Graph:         g,
+		Tax:           tax,
+		Lin:           semantic.Lin{Tax: tax},
+		EntityLabel:   entityLabel,
+		RelationLabel: relationLabel,
+	}, nil
+}
+
+// prefAttach maintains a multiset of endpoints for preferential
+// attachment.
+type prefAttach struct {
+	endpoints []hin.NodeID
+}
+
+func (p *prefAttach) pick(rng *rand.Rand, fallback func() hin.NodeID) hin.NodeID {
+	if len(p.endpoints) == 0 || rng.Float64() < 0.15 {
+		return fallback()
+	}
+	return p.endpoints[rng.Intn(len(p.endpoints))]
+}
+
+func (p *prefAttach) add(v hin.NodeID) { p.endpoints = append(p.endpoints, v) }

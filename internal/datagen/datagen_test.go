@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"semsim/internal/hin"
+	"semsim/internal/semantic"
+)
+
+func TestAMinerShape(t *testing.T) {
+	d, err := AMiner(AMinerConfig{Authors: 200, Seed: 1})
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	authors := d.Entities()
+	if len(authors) != 200 {
+		t.Fatalf("authors = %d, want 200", len(authors))
+	}
+	// Every author must have in-neighbors (category at minimum).
+	for _, a := range authors {
+		if d.Graph.InDegree(a) == 0 {
+			t.Fatalf("author %d has no in-neighbors", a)
+		}
+	}
+	// Labels present.
+	for _, l := range []string{"co-author", "interest", "origin", "is-a", "has-instance"} {
+		if _, ok := d.Graph.LabelID(l); !ok {
+			t.Errorf("label %q missing", l)
+		}
+	}
+	// The Lin measure must be admissible.
+	rng := rand.New(rand.NewSource(2))
+	if err := semantic.Validate(d.Lin, d.Graph.NumNodes(), 300, rng); err != nil {
+		t.Errorf("Lin constraints: %v", err)
+	}
+	// Authors under the same category: sem of two authors must equal
+	// (they share the Author parent). Leaf-author IC = 1 and
+	// IC(cat:Author) is the same for all pairs.
+	a0, a1 := authors[0], authors[1]
+	if d.Lin.Sim(a0, a1) <= 0 {
+		t.Error("author-pair Lin score must be positive")
+	}
+}
+
+func TestAMinerDeterministic(t *testing.T) {
+	d1, err := AMiner(AMinerConfig{Authors: 100, Seed: 42})
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	d2, err := AMiner(AMinerConfig{Authors: 100, Seed: 42})
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	if d1.Graph.NumNodes() != d2.Graph.NumNodes() || d1.Graph.NumEdges() != d2.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	d3, err := AMiner(AMinerConfig{Authors: 100, Seed: 43})
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	if d1.Graph.NumEdges() == d3.Graph.NumEdges() && d1.Graph.NumNodes() == d3.Graph.NumNodes() {
+		// Same size is possible, but identical edge multiset unlikely;
+		// compare total weight.
+		if d1.Graph.Stats().TotalWeight == d3.Graph.Stats().TotalWeight {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestAMinerValidation(t *testing.T) {
+	if _, err := AMiner(AMinerConfig{Authors: -2}); err == nil {
+		t.Error("want error for negative authors")
+	}
+}
+
+func TestAmazonShape(t *testing.T) {
+	d, err := Amazon(AmazonConfig{Items: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Amazon: %v", err)
+	}
+	items := d.Entities()
+	if len(items) != 200 {
+		t.Fatalf("items = %d, want 200", len(items))
+	}
+	if d.RelationLabel != "co-purchase" {
+		t.Errorf("RelationLabel = %q", d.RelationLabel)
+	}
+	// Co-purchase weights must exceed default for some edges (Zipf > 1).
+	maxW := 0.0
+	d.Graph.Edges(func(e hin.Edge) bool {
+		if e.Label == "co-purchase" && e.Weight > maxW {
+			maxW = e.Weight
+		}
+		return true
+	})
+	if maxW <= 1 {
+		t.Error("co-purchase weights all 1; expected repeat purchases")
+	}
+}
+
+func TestWikipediaShape(t *testing.T) {
+	d, err := Wikipedia(WikipediaConfig{Articles: 150, Seed: 4})
+	if err != nil {
+		t.Fatalf("Wikipedia: %v", err)
+	}
+	if got := len(d.Entities()); got != 150 {
+		t.Fatalf("articles = %d, want 150", got)
+	}
+	// Directed links: some article has in-links.
+	hasIn := false
+	for _, a := range d.Entities() {
+		for _, l := range d.Graph.InLabels(a) {
+			if d.Graph.LabelName(l) == "link" {
+				hasIn = true
+			}
+		}
+	}
+	if !hasIn {
+		t.Error("no article has in-links")
+	}
+}
+
+func TestWordNetShape(t *testing.T) {
+	d, err := WordNet(WordNetConfig{Nouns: 500, Seed: 5})
+	if err != nil {
+		t.Fatalf("WordNet: %v", err)
+	}
+	if got := len(d.Entities()); got != 500 {
+		t.Fatalf("nouns = %d, want 500", got)
+	}
+	// Taxonomy depth should be nontrivial.
+	if d.Tax.MaxDepth() < 4 {
+		t.Errorf("taxonomy depth = %d, want >= 4", d.Tax.MaxDepth())
+	}
+	// is-a tree: every noun except the root has a parent inside the noun set.
+	root := d.Graph.MustNode("noun-0")
+	for _, nid := range d.Entities() {
+		if nid == root {
+			continue
+		}
+		if d.Tax.Parent(int32(nid)) == d.Tax.Root() {
+			t.Fatalf("noun %d detached from the is-a tree", nid)
+		}
+	}
+}
+
+func TestWordSimBenchmark(t *testing.T) {
+	d, err := WordNet(WordNetConfig{Nouns: 400, Seed: 6})
+	if err != nil {
+		t.Fatalf("WordNet: %v", err)
+	}
+	bm, err := WordSim(d, WordSimConfig{Pairs: 100, Seed: 7})
+	if err != nil {
+		t.Fatalf("WordSim: %v", err)
+	}
+	if len(bm.Pairs) != 100 || len(bm.Human) != 100 {
+		t.Fatalf("benchmark size = %d/%d", len(bm.Pairs), len(bm.Human))
+	}
+	varied := false
+	for i, h := range bm.Human {
+		if h < 0 || h > 1 {
+			t.Fatalf("human score %v outside [0,1]", h)
+		}
+		if bm.Pairs[i][0] == bm.Pairs[i][1] {
+			t.Fatal("self pair in benchmark")
+		}
+		if i > 0 && h != bm.Human[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("human scores are constant")
+	}
+	// No duplicate pairs.
+	seen := map[[2]hin.NodeID]bool{}
+	for _, p := range bm.Pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	d, err := Amazon(AmazonConfig{Items: 300, Seed: 8})
+	if err != nil {
+		t.Fatalf("Amazon: %v", err)
+	}
+	lp, err := RemoveEdges(d, "co-purchase", 30, 9)
+	if err != nil {
+		t.Fatalf("RemoveEdges: %v", err)
+	}
+	if len(lp.Removed) != 30 {
+		t.Fatalf("removed %d pairs, want 30", len(lp.Removed))
+	}
+	if lp.Train.NumEdges() >= d.Graph.NumEdges() {
+		t.Error("training graph did not shrink")
+	}
+	// Removed pairs are fully absent from the training graph.
+	for _, p := range lp.Removed {
+		lp.Train.Edges(func(e hin.Edge) bool {
+			if e.Label != "co-purchase" {
+				return true
+			}
+			if (e.From == p[0] && e.To == p[1]) || (e.From == p[1] && e.To == p[0]) {
+				t.Fatalf("removed pair %v still present", p)
+			}
+			return true
+		})
+	}
+	// Too many requested.
+	if _, err := RemoveEdges(d, "co-purchase", 1e6, 9); err == nil {
+		t.Error("want error when too many removals requested")
+	}
+}
+
+func TestInjectDuplicates(t *testing.T) {
+	d, err := AMiner(AMinerConfig{Authors: 150, Seed: 10})
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	er, err := InjectDuplicates(d, 10, 0.7, 11)
+	if err != nil {
+		t.Fatalf("InjectDuplicates: %v", err)
+	}
+	if len(er.Pairs) != 10 {
+		t.Fatalf("pairs = %d, want 10", len(er.Pairs))
+	}
+	if er.Graph.NumNodes() != d.Graph.NumNodes()+10 {
+		t.Fatalf("nodes = %d, want %d", er.Graph.NumNodes(), d.Graph.NumNodes()+10)
+	}
+	for _, p := range er.Pairs {
+		orig, clone := p[0], p[1]
+		if er.Graph.NodeLabel(orig) != er.Graph.NodeLabel(clone) {
+			t.Error("clone label differs")
+		}
+		// Clone keeps its taxonomy category: same taxonomy parent.
+		if er.Tax.Parent(int32(orig)) != er.Tax.Parent(int32(clone)) {
+			t.Errorf("clone %d has parent %d, original %d has %d",
+				clone, er.Tax.Parent(int32(clone)), orig, er.Tax.Parent(int32(orig)))
+		}
+		// Clone shares a decent fraction of the original's neighbors.
+		origNb := map[hin.NodeID]bool{}
+		for _, a := range er.Graph.InNeighbors(orig) {
+			origNb[a] = true
+		}
+		shared := 0
+		for _, a := range er.Graph.InNeighbors(clone) {
+			if origNb[a] {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("clone of %d shares no neighbors", orig)
+		}
+	}
+	// Bad configs.
+	if _, err := InjectDuplicates(d, 10, 0, 1); err == nil {
+		t.Error("want error for copyProb 0")
+	}
+	if _, err := InjectDuplicates(d, 1e6, 0.5, 1); err == nil {
+		t.Error("want error for too many duplicates")
+	}
+}

@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+)
+
+// WordNetConfig sizes the synthetic noun hierarchy (the real noun subpart
+// is 82K synsets with 128K edges: overwhelmingly hierarchical plus sparse
+// part-of relations).
+type WordNetConfig struct {
+	// Nouns is the number of synset nodes. Default 5000 (use 82000 to
+	// match the paper's scale).
+	Nouns int
+	// PartOfFraction is the ratio of lateral "part-of" edges to nouns.
+	// Default 1.0.
+	PartOfFraction float64
+	// MultiParentProb is the probability a noun gets a second hypernym
+	// (real WordNet is a DAG, not a tree; the resulting odd cycles also
+	// matter for walk-based measures, which cannot meet across
+	// odd-distance pairs on bipartite graphs). Default 0.2.
+	MultiParentProb float64
+	// MaxChildren bounds the branching of the is-a tree. Default 6.
+	MaxChildren int
+	Seed        int64
+}
+
+func (c *WordNetConfig) fill() error {
+	if c.Nouns == 0 {
+		c.Nouns = 5000
+	}
+	if c.PartOfFraction == 0 {
+		c.PartOfFraction = 1.0
+	}
+	if c.MultiParentProb == 0 {
+		c.MultiParentProb = 0.2
+	}
+	if c.MaxChildren == 0 {
+		c.MaxChildren = 6
+	}
+	if c.Nouns < 2 || c.PartOfFraction < 0 || c.MaxChildren < 1 {
+		return fmt.Errorf("datagen: invalid WordNet config %+v", *c)
+	}
+	return nil
+}
+
+// WordNet generates the synthetic noun base: a random is-a tree over all
+// nouns (every noun is itself a taxonomy concept, as in WordNet) plus
+// sparse undirected part-of relations between nearby concepts.
+func WordNet(cfg WordNetConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := hin.NewBuilder()
+
+	nouns := make([]hin.NodeID, cfg.Nouns)
+	nouns[0] = b.AddNode("noun-0", "noun") // root synset ("entity")
+	childCount := make([]int, cfg.Nouns)
+	parent := make([]int, cfg.Nouns)
+	parent[0] = -1
+	for i := 1; i < cfg.Nouns; i++ {
+		nouns[i] = b.AddNode(fmt.Sprintf("noun-%d", i), "noun")
+		// Random parent among earlier nodes with room, preferring
+		// recent nodes to grow depth.
+		p := -1
+		for tries := 0; tries < 10; tries++ {
+			cand := rng.Intn(i)
+			if childCount[cand] < cfg.MaxChildren {
+				p = cand
+				break
+			}
+		}
+		if p < 0 {
+			p = 0
+		}
+		childCount[p]++
+		parent[i] = p
+		addISA(b, nouns[i], nouns[p])
+	}
+
+	// Lateral part-of relations come in topical clusters, mirroring the
+	// real structure (car, wheel, engine, tire all interlinked):
+	// a cluster anchors at a random synset, gathers a few members from a
+	// short tree walk around it plus occasionally one far member, and
+	// wires them as a clique. Clustering is what gives associatively
+	// related pairs *common lateral neighbors*, the signal neighborhood-
+	// based similarity propagates on; a lone lateral edge would create
+	// none. Lateral relations are strong ties (weight 2 vs the taxonomy
+	// default 1), which weighted measures can exploit.
+	children := make([][]int, cfg.Nouns)
+	for i := 1; i < cfg.Nouns; i++ {
+		children[parent[i]] = append(children[parent[i]], i)
+	}
+	treeWalk := func(start, steps int) int {
+		cur := start
+		for s := 0; s < steps; s++ {
+			up := parent[cur] >= 0 && (len(children[cur]) == 0 || rng.Intn(2) == 0)
+			if up {
+				cur = parent[cur]
+			} else if len(children[cur]) > 0 {
+				cur = children[cur][rng.Intn(len(children[cur]))]
+			}
+		}
+		return cur
+	}
+	// Secondary hypernyms (DAG structure). A second parent at a nearby
+	// but different depth creates the odd cycles real-world HINs have;
+	// without them the graph is bipartite and coupled random walks can
+	// never meet for odd-distance pairs.
+	for i := 1; i < cfg.Nouns; i++ {
+		if rng.Float64() >= cfg.MultiParentProb {
+			continue
+		}
+		second := treeWalk(parent[i], 1+rng.Intn(3))
+		if second != i && second != parent[i] {
+			addISA(b, nouns[i], nouns[second])
+		}
+	}
+
+	lateralEdges := int(float64(cfg.Nouns) * cfg.PartOfFraction)
+	for added := 0; added < lateralEdges; {
+		anchor := rng.Intn(cfg.Nouns)
+		members := []int{anchor}
+		size := 3 + rng.Intn(3)
+		for len(members) < size {
+			var m int
+			if rng.Float64() < 0.85 {
+				m = treeWalk(anchor, 2+rng.Intn(3))
+			} else {
+				m = rng.Intn(cfg.Nouns) // far associative member
+			}
+			dup := false
+			for _, x := range members {
+				if x == m {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				members = append(members, m)
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddUndirected(nouns[members[i]], nouns[members[j]], "part-of", 2)
+				added++
+			}
+		}
+	}
+
+	return finish("WordNet", "noun", "part-of", b, nil)
+}

@@ -1,0 +1,355 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"semsim/internal/hin"
+	"semsim/internal/mc"
+	"semsim/internal/semantic"
+	"semsim/internal/taxonomy"
+)
+
+// Benchmark is a WordsSim-353-style relatedness ground truth: node pairs
+// with human-like scores in [0,1].
+type Benchmark struct {
+	Pairs [][2]hin.NodeID
+	Human []float64
+}
+
+// WordSimConfig controls the synthetic relatedness benchmark.
+type WordSimConfig struct {
+	// Pairs is the benchmark size. Default 300 (the real test has 353
+	// pairs, of which the paper retains 40/342 per dataset).
+	Pairs int
+	// SurferWeight, SemWeight, Noise weight the latent human model
+	//
+	//	human = SurferWeight*surfer + SemWeight*sem' + Noise*eps
+	//
+	// where sem' is a *perceived* taxonomy similarity (Wu–Palmer style
+	// over lognormally jittered concept depths — human intuition follows
+	// neither corpus IC nor exact depth) and surfer is a semantic-aware
+	// random-surfer relatedness computed with an independent sampler and
+	// different parameters (naive per-pair SARW sampling under sem',
+	// decay 0.7, 200 walks of length 10). The surfer term operationalizes
+	// the paper's central premise — human relatedness behaves like
+	// semantics-weighted structural propagation (Section 3) — which a
+	// reproduction without the human-annotated WordsSim-353 data must
+	// build into its simulated annotators; see DESIGN.md, Substitutions.
+	// Defaults 0.55, 0.15, 0.30 (the noise share mirrors the modest
+	// absolute correlations of the real benchmark, best published
+	// r ~ 0.59).
+	SurferWeight, SemWeight, Noise float64
+	// SemJitter is the lognormal sigma applied to perceived concept
+	// depths. Default 0.3.
+	SemJitter float64
+	Seed      int64
+}
+
+func (c *WordSimConfig) fill() error {
+	if c.Pairs == 0 {
+		c.Pairs = 300
+	}
+	if c.SurferWeight == 0 && c.SemWeight == 0 && c.Noise == 0 {
+		c.SurferWeight, c.SemWeight, c.Noise = 0.60, 0.10, 0.30
+	}
+	if c.SemJitter == 0 {
+		c.SemJitter = 0.2
+	}
+	if c.Pairs < 2 || c.SurferWeight < 0 || c.SemWeight < 0 || c.Noise < 0 || c.SemJitter < 0 {
+		return fmt.Errorf("datagen: invalid WordSim config %+v", *c)
+	}
+	return nil
+}
+
+// WordSim samples entity pairs and assigns human-like relatedness scores
+// from the latent model described on WordSimConfig. No competitor measure
+// sees the latent mix or the jittered perception; measures capturing both
+// the semantic and the structural-propagation component should correlate
+// best, which is the Table 5 hypothesis under test.
+//
+// Pair sampling mirrors WordsSim-353's design: pairs are human-proposed
+// plausibly related word pairs, so the mixture favors related nodes —
+// graph neighbors (20%), lateral associates (25%), topically close nodes
+// reached by a short undirected walk (35%), and uniform fillers (20%).
+func WordSim(d *Dataset, cfg WordSimConfig) (*Benchmark, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	entities := d.Entities()
+	if len(entities) < 2 {
+		return nil, fmt.Errorf("datagen: dataset %s has %d entities", d.Name, len(entities))
+	}
+	isEntity := make(map[hin.NodeID]bool, len(entities))
+	for _, e := range entities {
+		isEntity[e] = true
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Perceived semantic similarity: Wu–Palmer over jittered depths.
+	depthJ := make([]float64, d.Tax.NumConcepts())
+	for v := range depthJ {
+		depthJ[v] = (float64(d.Tax.Depth(int32(v))) + 0.5) * math.Exp(cfg.SemJitter*rng.NormFloat64())
+	}
+	latentSem := semantic.Func{N: "latent", F: func(u, v hin.NodeID) float64 {
+		if u == v {
+			return 1
+		}
+		a := d.Tax.LCA(int32(u), int32(v))
+		s := 2 * depthJ[a] / (depthJ[u] + depthJ[v])
+		if s > 1 {
+			s = 1
+		}
+		if s < 1e-4 {
+			s = 1e-4
+		}
+		return s
+	}}
+
+	// The simulated annotators' structural-propagation intuition: an
+	// independent per-pair SARW sampler under the perceived semantics.
+	surfer, err := mc.NewNaiveSampler(d.Graph, latentSem, 0.7, 200, 10, cfg.Seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Benchmark{}
+	seen := map[[2]hin.NodeID]bool{}
+	attempts := 0
+	for len(b.Pairs) < cfg.Pairs {
+		attempts++
+		if attempts > 200*cfg.Pairs {
+			return nil, fmt.Errorf("datagen: could not sample %d distinct pairs", cfg.Pairs)
+		}
+		u := entities[rng.Intn(len(entities))]
+		var v hin.NodeID
+		switch r := rng.Float64(); {
+		case r < 0.20:
+			// Direct neighbor.
+			nb := d.Graph.InNeighbors(u)
+			if len(nb) == 0 {
+				continue
+			}
+			v = nb[rng.Intn(len(nb))]
+		case r < 0.45:
+			// Associatively related: 1-2 steps over lateral
+			// (non-taxonomy) relations only — the car–wheel pairs
+			// whose relatedness taxonomy measures cannot see.
+			var ok bool
+			v, ok = lateralWalk(d.Graph, u, 1+rng.Intn(2), rng)
+			if !ok {
+				continue
+			}
+		case r < 0.80:
+			// Topically close: short undirected random walk.
+			v = shortWalk(d.Graph, u, 2+rng.Intn(3), rng)
+		default:
+			// Unrelated filler pairs; WordsSim-353 keeps these rare
+			// (its pairs are human-proposed plausible word pairs).
+			v = entities[rng.Intn(len(entities))]
+		}
+		if u == v || !isEntity[v] {
+			continue
+		}
+		key := [2]hin.NodeID{u, v}
+		if u > v {
+			key = [2]hin.NodeID{v, u}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		h := cfg.SurferWeight*surfer.Query(u, v) + cfg.SemWeight*latentSem.F(u, v) +
+			cfg.Noise*rng.Float64()
+		if h > 1 {
+			h = 1
+		}
+		b.Pairs = append(b.Pairs, key)
+		b.Human = append(b.Human, h)
+	}
+	return b, nil
+}
+
+// lateralWalk takes steps undirected steps over non-taxonomy edges only;
+// ok is false if u has no lateral edges.
+func lateralWalk(g *hin.Graph, u hin.NodeID, steps int, rng *rand.Rand) (hin.NodeID, bool) {
+	isTax := func(l int32) bool {
+		name := g.LabelName(l)
+		return name == "is-a" || name == "has-instance"
+	}
+	cur := u
+	moved := false
+	for s := 0; s < steps; s++ {
+		var cands []hin.NodeID
+		in := g.InNeighbors(cur)
+		ils := g.InLabels(cur)
+		for i := range in {
+			if !isTax(ils[i]) {
+				cands = append(cands, in[i])
+			}
+		}
+		out := g.OutNeighbors(cur)
+		ols := g.OutLabels(cur)
+		for i := range out {
+			if !isTax(ols[i]) {
+				cands = append(cands, out[i])
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		cur = cands[rng.Intn(len(cands))]
+		moved = true
+	}
+	return cur, moved
+}
+
+// shortWalk takes steps undirected random steps from u.
+func shortWalk(g *hin.Graph, u hin.NodeID, steps int, rng *rand.Rand) hin.NodeID {
+	cur := u
+	for s := 0; s < steps; s++ {
+		in := g.InNeighbors(cur)
+		out := g.OutNeighbors(cur)
+		total := len(in) + len(out)
+		if total == 0 {
+			return cur
+		}
+		i := rng.Intn(total)
+		if i < len(in) {
+			cur = in[i]
+		} else {
+			cur = out[i-len(in)]
+		}
+	}
+	return cur
+}
+
+// LinkPrediction holds a link-prediction workload: the training graph with
+// test edges removed and the removed (undirected) pairs to predict.
+type LinkPrediction struct {
+	Train   *hin.Graph
+	Tax     *taxonomy.Taxonomy
+	Removed [][2]hin.NodeID
+}
+
+// RemoveEdges removes count undirected relation edges (both directions) of
+// the given label, choosing pairs whose endpoints keep at least one other
+// edge so every query node stays connected (the Figure 5a workload:
+// "we omitted 7.5K edges between items").
+func RemoveEdges(d *Dataset, label string, count int, seed int64) (*LinkPrediction, error) {
+	type upair = [2]hin.NodeID
+	var candidates []upair
+	seen := map[upair]bool{}
+	d.Graph.Edges(func(e hin.Edge) bool {
+		if e.Label != label {
+			return true
+		}
+		key := upair{e.From, e.To}
+		if e.From > e.To {
+			key = upair{e.To, e.From}
+		}
+		if !seen[key] && d.Graph.InDegree(e.From) > 2 && d.Graph.InDegree(e.To) > 2 {
+			seen[key] = true
+			candidates = append(candidates, key)
+		}
+		return true
+	})
+	if len(candidates) < count {
+		return nil, fmt.Errorf("datagen: only %d removable %q pairs for requested %d",
+			len(candidates), label, count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	removed := candidates[:count]
+	dropSet := make(map[upair]bool, count)
+	for _, p := range removed {
+		dropSet[p] = true
+	}
+	train, err := hin.FilterEdges(d.Graph, func(e hin.Edge) bool {
+		if e.Label != label {
+			return true
+		}
+		key := upair{e.From, e.To}
+		if e.From > e.To {
+			key = upair{e.To, e.From}
+		}
+		return !dropSet[key]
+	})
+	if err != nil {
+		return nil, err
+	}
+	tax, err := taxonomy.FromGraph(train, taxonomy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &LinkPrediction{Train: train, Tax: tax, Removed: removed}, nil
+}
+
+// EntityResolution holds a duplicate-detection workload: the graph with
+// injected near-duplicate entities and the ground-truth duplicate pairs.
+type EntityResolution struct {
+	Graph *hin.Graph
+	Tax   *taxonomy.Taxonomy
+	Pairs [][2]hin.NodeID
+}
+
+// InjectDuplicates clones count random entities of the dataset's entity
+// label: each clone copies its original's edges independently with
+// probability copyProb (taxonomy "is-a"/"has-instance" edges are always
+// copied so the clone keeps its category). The returned pairs are the
+// ground truth of the Figure 5b experiment.
+func InjectDuplicates(d *Dataset, count int, copyProb float64, seed int64) (*EntityResolution, error) {
+	if copyProb <= 0 || copyProb > 1 {
+		return nil, fmt.Errorf("datagen: copyProb %v outside (0,1]", copyProb)
+	}
+	entities := d.Entities()
+	if len(entities) < count {
+		return nil, fmt.Errorf("datagen: %d entities for %d duplicates", len(entities), count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(entities))
+	targets := make([]hin.NodeID, count)
+	targetSet := make(map[hin.NodeID]bool, count)
+	for i := 0; i < count; i++ {
+		targets[i] = entities[perm[i]]
+		targetSet[targets[i]] = true
+	}
+
+	b := hin.NewBuilder()
+	for v := 0; v < d.Graph.NumNodes(); v++ {
+		b.AddNode(d.Graph.NodeName(hin.NodeID(v)), d.Graph.NodeLabel(hin.NodeID(v)))
+	}
+	dup := make(map[hin.NodeID]hin.NodeID, count)
+	var er EntityResolution
+	for _, orig := range targets {
+		clone := b.AddNode(d.Graph.NodeName(orig)+"-dup", d.Graph.NodeLabel(orig))
+		dup[orig] = clone
+		er.Pairs = append(er.Pairs, [2]hin.NodeID{orig, clone})
+	}
+	d.Graph.Edges(func(e hin.Edge) bool {
+		b.AddEdge(e.From, e.To, e.Label, e.Weight)
+		isTax := e.Label == "is-a" || e.Label == "has-instance"
+		if c, ok := dup[e.From]; ok && (isTax || rng.Float64() < copyProb) {
+			b.AddEdge(c, e.To, e.Label, e.Weight)
+		}
+		if c, ok := dup[e.To]; ok && (isTax || rng.Float64() < copyProb) {
+			b.AddEdge(e.From, c, e.Label, e.Weight)
+		}
+		return true
+	})
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	tax, err := taxonomy.FromGraph(g, taxonomy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	er.Graph = g
+	er.Tax = tax
+	return &er, nil
+}

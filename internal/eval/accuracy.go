@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// AccuracyStats aggregates the Table 4 estimator-quality metrics: for each
+// evaluated pair the estimator was run repeatedly (rebuilding its sampling
+// index), producing a score series compared against a ground-truth value.
+type AccuracyStats struct {
+	PearsonR   float64 // correlation of per-pair mean estimates vs ground truth
+	MeanVar    float64 // mean over pairs of the estimator's run variance
+	MaxVar     float64
+	MeanRelErr float64 // mean over pairs of mean |est - gt| / gt
+	MaxRelErr  float64
+	MeanAbsErr float64 // mean over pairs of mean |est - gt|
+	MaxAbsErr  float64
+}
+
+// RelErrFloor excludes pairs with near-zero ground truth from the
+// relative-error aggregates: below it the ratio |est-gt|/gt is
+// ill-conditioned (a 0.005 absolute wobble on a 0.0005 score reads as
+// 1000% error) and would drown the statistic the paper's Table 4 reports.
+// Such pairs still count towards the variance and absolute-error columns.
+const RelErrFloor = 0.01
+
+// Accuracy computes AccuracyStats. estimates[i] holds the repeated-run
+// scores for pair i, truth[i] its ground-truth value. Pairs with ground
+// truth below RelErrFloor are excluded from the relative error aggregates
+// (but kept in the rest).
+func Accuracy(estimates [][]float64, truth []float64) (AccuracyStats, error) {
+	if len(estimates) != len(truth) {
+		return AccuracyStats{}, fmt.Errorf("eval: %d estimate series for %d truths", len(estimates), len(truth))
+	}
+	if len(truth) == 0 {
+		return AccuracyStats{}, fmt.Errorf("eval: no pairs")
+	}
+	var st AccuracyStats
+	means := make([]float64, len(truth))
+	var relCount int
+	for i, runs := range estimates {
+		if len(runs) == 0 {
+			return AccuracyStats{}, fmt.Errorf("eval: pair %d has no runs", i)
+		}
+		var mean float64
+		for _, e := range runs {
+			mean += e
+		}
+		mean /= float64(len(runs))
+		means[i] = mean
+
+		var variance, absErr float64
+		for _, e := range runs {
+			variance += (e - mean) * (e - mean)
+			absErr += math.Abs(e - truth[i])
+		}
+		variance /= float64(len(runs))
+		absErr /= float64(len(runs))
+
+		st.MeanVar += variance
+		if variance > st.MaxVar {
+			st.MaxVar = variance
+		}
+		st.MeanAbsErr += absErr
+		if absErr > st.MaxAbsErr {
+			st.MaxAbsErr = absErr
+		}
+		if truth[i] >= RelErrFloor {
+			rel := absErr / truth[i]
+			st.MeanRelErr += rel
+			if rel > st.MaxRelErr {
+				st.MaxRelErr = rel
+			}
+			relCount++
+		}
+	}
+	n := float64(len(truth))
+	st.MeanVar /= n
+	st.MeanAbsErr /= n
+	if relCount > 0 {
+		st.MeanRelErr /= float64(relCount)
+	}
+	r, err := Pearson(means, truth)
+	if err != nil {
+		return st, err
+	}
+	st.PearsonR = r
+	return st, nil
+}
+
+// HitAtK reports whether target appears among the first k entries of a
+// ranked candidate list.
+func HitAtK(ranked []int64, target int64, k int) bool {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for _, v := range ranked[:k] {
+		if v == target {
+			return true
+		}
+	}
+	return false
+}
+
+// PrecisionAtK returns |relevant ∩ ranked[:k]| / k (the entity-resolution
+// metric of Figure 5b). If fewer than k results exist the denominator is
+// still k, penalizing short lists.
+func PrecisionAtK(ranked []int64, relevant map[int64]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	limit := k
+	if limit > len(ranked) {
+		limit = len(ranked)
+	}
+	hits := 0
+	for _, v := range ranked[:limit] {
+		if relevant[v] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

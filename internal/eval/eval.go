@@ -1,0 +1,169 @@
+// Package eval provides the statistical machinery of the paper's
+// experimental study: Pearson correlation with two-sided p-values (the
+// Table 5 relatedness benchmark), Spearman rank correlation, estimator
+// accuracy statistics (Table 4: variance, relative and absolute error),
+// and top-k precision/hit-rate harnesses (Figure 5).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the sample Pearson correlation coefficient r of x and y.
+// It returns 0 when either series is constant.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("eval: series lengths differ: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("eval: need at least 2 points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// PearsonP returns r together with the two-sided p-value of the null
+// hypothesis r = 0, via the exact Student-t distribution with n-2 degrees
+// of freedom.
+func PearsonP(x, y []float64) (r, p float64, err error) {
+	r, err = Pearson(x, y)
+	if err != nil {
+		return 0, 1, err
+	}
+	n := len(x)
+	if n < 3 {
+		return r, 1, nil
+	}
+	if math.Abs(r) >= 1 {
+		return r, 0, nil
+	}
+	t := r * math.Sqrt(float64(n-2)/(1-r*r))
+	p = studentTwoSided(t, float64(n-2))
+	return r, p, nil
+}
+
+// studentTwoSided returns P(|T| >= |t|) for T ~ Student-t with nu degrees
+// of freedom, using the incomplete-beta identity
+// P(|T| >= t) = I_{nu/(nu+t^2)}(nu/2, 1/2).
+func studentTwoSided(t, nu float64) float64 {
+	x := nu / (nu + t*t)
+	return RegIncBeta(nu/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a,b)
+// with the Lentz continued-fraction method (Numerical Recipes style).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Spearman returns the Spearman rank correlation of x and y (Pearson over
+// average ranks, ties averaged).
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("eval: series lengths differ: %d vs %d", len(x), len(y))
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks returns average ranks (1-based) with ties sharing their mean rank.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatalf("Pearson: %v", err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed: x={1,2,3,4}, y={1,3,2,5}: r = 0.8.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 3, 2, 5}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatalf("Pearson: %v", err)
+	}
+	// cov = (−1.5·−1.75 + −0.5·0.25 + 0.5·−0.75 + 1.5·2.25)/...
+	// sxy = 2.625+(-0.125)+(-0.375)+3.375 = 5.5; sxx = 5; syy = 8.75
+	want := 5.5 / math.Sqrt(5*8.75)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("r = %v, want %v", r, want)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("constant series: r=%v err=%v, want 0, nil", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for n < 2")
+	}
+}
+
+func TestPearsonPValue(t *testing.T) {
+	// Strong correlation on 20 points: p must be tiny.
+	x := make([]float64, 20)
+	y := make([]float64, 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 0.3*rng.NormFloat64()
+	}
+	r, p, err := PearsonP(x, y)
+	if err != nil {
+		t.Fatalf("PearsonP: %v", err)
+	}
+	if r < 0.95 {
+		t.Errorf("r = %v, want > 0.95", r)
+	}
+	if p > 1e-8 {
+		t.Errorf("p = %v, want < 1e-8", p)
+	}
+	// Independent noise: p should not be significant.
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	_, p, err = PearsonP(x, y)
+	if err != nil {
+		t.Fatalf("PearsonP: %v", err)
+	}
+	if p < 0.001 {
+		t.Errorf("independent noise gave p = %v", p)
+	}
+}
+
+// TestStudentTReference checks the two-sided t-tail against published
+// critical values: for nu=10, t=2.228 has p ~ 0.05; for nu=5, t=2.571.
+func TestStudentTReference(t *testing.T) {
+	cases := []struct {
+		t, nu, p float64
+	}{
+		{2.228, 10, 0.05},
+		{2.571, 5, 0.05},
+		{1.812, 10, 0.10},
+		{3.169, 10, 0.01},
+	}
+	for _, tc := range cases {
+		got := studentTwoSided(tc.t, tc.nu)
+		if math.Abs(got-tc.p) > 0.002 {
+			t.Errorf("studentTwoSided(%v, %v) = %v, want ~%v", tc.t, tc.nu, got, tc.p)
+		}
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + 5*rng.Float64()
+		b := 0.5 + 5*rng.Float64()
+		x := rng.Float64()
+		return math.Abs(RegIncBeta(a, b, x)-(1-RegIncBeta(b, a, 1-x))) < 1e-10
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	rs, err := Spearman(x, y)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	if math.Abs(rs-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", rs)
+	}
+	rp, _ := Pearson(x, y)
+	if rp >= 1 {
+		t.Errorf("Pearson = %v, should be < 1 for cubic", rp)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := ranks([]float64{3, 1, 3, 2})
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	estimates := [][]float64{
+		{0.5, 0.7},   // mean 0.6, truth 0.5: absErr = (0.1+0.2)/2=0.15? |0.5-0.5|=0, |0.7-0.5|=0.2 -> 0.1
+		{0.2, 0.2},   // exact, zero variance
+		{0.05, 0.15}, // truth 0: excluded from rel err
+	}
+	truth := []float64{0.5, 0.2, 0}
+	st, err := Accuracy(estimates, truth)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if math.Abs(st.MeanAbsErr-(0.1+0+0.1)/3) > 1e-12 {
+		t.Errorf("MeanAbsErr = %v", st.MeanAbsErr)
+	}
+	if math.Abs(st.MaxAbsErr-0.1) > 1e-12 {
+		t.Errorf("MaxAbsErr = %v", st.MaxAbsErr)
+	}
+	// Rel err over pairs 0 and 1 only: (0.1/0.5 + 0)/2 = 0.1.
+	if math.Abs(st.MeanRelErr-0.1) > 1e-12 {
+		t.Errorf("MeanRelErr = %v", st.MeanRelErr)
+	}
+	// Variance of {0.5,0.7} = 0.01; max and (0.01+0+0.0025)/3 mean.
+	if math.Abs(st.MaxVar-0.01) > 1e-12 {
+		t.Errorf("MaxVar = %v", st.MaxVar)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := Accuracy([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := Accuracy([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("want error for empty runs")
+	}
+}
+
+func TestHitAndPrecisionAtK(t *testing.T) {
+	ranked := []int64{5, 3, 9, 1}
+	if !HitAtK(ranked, 3, 2) || HitAtK(ranked, 9, 2) {
+		t.Error("HitAtK wrong")
+	}
+	if HitAtK(ranked, 7, 10) {
+		t.Error("HitAtK found absent target")
+	}
+	rel := map[int64]bool{3: true, 1: true}
+	if got := PrecisionAtK(ranked, rel, 2); got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(ranked, rel, 4); got != 0.5 {
+		t.Errorf("P@4 = %v, want 0.5", got)
+	}
+	// Short list penalized: only 4 results for k=8.
+	if got := PrecisionAtK(ranked, rel, 8); got != 0.25 {
+		t.Errorf("P@8 = %v, want 0.25", got)
+	}
+	if got := PrecisionAtK(ranked, rel, 0); got != 0 {
+		t.Errorf("P@0 = %v, want 0", got)
+	}
+}

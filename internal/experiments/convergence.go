@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semsim/internal/core"
+	"semsim/internal/datagen"
+	"semsim/internal/simmat"
+	"semsim/internal/simrank"
+)
+
+// ConvergenceConfig sizes the Figure 3 experiment (average relative and
+// absolute score differences in consecutive iterations, SemSim vs
+// SimRank).
+type ConvergenceConfig struct {
+	// Authors and Items size the small AMiner / Amazon graphs. Defaults
+	// 300 / 300 (the iterative forms are O(n^2 d^2) per sweep).
+	Authors int
+	Items   int
+	// C is the decay factor (paper default 0.6) and Iterations the sweep
+	// count (paper shows 8).
+	C          float64
+	Iterations int
+	Seed       int64
+}
+
+func (c *ConvergenceConfig) fill() {
+	if c.Authors == 0 {
+		c.Authors = 300
+	}
+	if c.Items == 0 {
+		c.Items = 300
+	}
+	if c.C == 0 {
+		c.C = 0.6
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 8
+	}
+}
+
+// ConvergenceSeries is one curve of Figure 3.
+type ConvergenceSeries struct {
+	Dataset string
+	Measure string
+	Rel     []float64 // avg relative difference per iteration
+	Abs     []float64 // avg absolute difference per iteration
+}
+
+// ConvergenceResult holds all curves.
+type ConvergenceResult struct {
+	Series []ConvergenceSeries
+	// ConvergedBy reports the first iteration at which the average
+	// absolute difference dropped below 1e-3, per series (paper: all by
+	// iteration 5). 0 means not within the iteration budget.
+	ConvergedBy []int
+}
+
+// Convergence reproduces Figure 3.
+func Convergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
+	cfg.fill()
+	am, err := datagen.AMiner(datagen.AMinerConfig{Authors: cfg.Authors, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	az, err := datagen.Amazon(datagen.AmazonConfig{Items: cfg.Items, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	res := &ConvergenceResult{}
+	for _, d := range []*datagen.Dataset{am, az} {
+		ss, err := core.Iterative(d.Graph, d.Lin, core.IterOptions{
+			C: cfg.C, MaxIterations: cfg.Iterations, Parallel: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.add(d.Name, "SemSim", ss.Deltas)
+		sr, err := simrank.Iterative(d.Graph, simrank.IterOptions{C: cfg.C, MaxIterations: cfg.Iterations})
+		if err != nil {
+			return nil, err
+		}
+		res.add(d.Name, "SimRank", sr.Deltas)
+	}
+	return res, nil
+}
+
+func (r *ConvergenceResult) add(dataset, measure string, deltas []simmat.IterDelta) {
+	s := ConvergenceSeries{Dataset: dataset, Measure: measure}
+	converged := 0
+	for _, d := range deltas {
+		s.Rel = append(s.Rel, d.AvgRel)
+		s.Abs = append(s.Abs, d.AvgAbs)
+		if converged == 0 && d.AvgAbs < 1e-3 {
+			converged = d.Iteration
+		}
+	}
+	r.Series = append(r.Series, s)
+	r.ConvergedBy = append(r.ConvergedBy, converged)
+}
+
+// Render prints the two panels of Figure 3.
+func (r *ConvergenceResult) Render() string {
+	iters := 0
+	for _, s := range r.Series {
+		if len(s.Rel) > iters {
+			iters = len(s.Rel)
+		}
+	}
+	header := []string{"series"}
+	for i := 1; i <= iters; i++ {
+		header = append(header, fmt.Sprintf("k=%d", i))
+	}
+	rel := Table{Title: "Figure 3(a): avg relative difference per iteration", Header: header}
+	abs := Table{Title: "Figure 3(b): avg absolute difference per iteration", Header: header}
+	for i, s := range r.Series {
+		name := fmt.Sprintf("%s/%s", s.Dataset, s.Measure)
+		relRow := []string{name}
+		absRow := []string{name}
+		for k := 0; k < iters; k++ {
+			if k < len(s.Rel) {
+				relRow = append(relRow, g3(s.Rel[k]))
+				absRow = append(absRow, g3(s.Abs[k]))
+			} else {
+				relRow = append(relRow, "-")
+				absRow = append(absRow, "-")
+			}
+		}
+		rel.Rows = append(rel.Rows, relRow)
+		abs.Rows = append(abs.Rows, absRow)
+		_ = i
+	}
+	out := rel.Render() + "\n" + abs.Render() + "\nconverged (avg diff < 1e-3) by iteration:"
+	for i, s := range r.Series {
+		out += fmt.Sprintf(" %s/%s=%d", s.Dataset, s.Measure, r.ConvergedBy[i])
+	}
+	return out + "\n"
+}

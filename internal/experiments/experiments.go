@@ -1,0 +1,66 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 5), plus the preprocessing report quoted in
+// the text. Each driver returns a typed result with a Render method that
+// prints the same rows/series the paper reports; cmd/experiments runs them
+// and bench_test.go wraps them as benchmarks.
+//
+// Absolute numbers depend on the synthetic substrate (see DESIGN.md); the
+// shapes under test are listed per experiment in DESIGN.md's index.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal text-table renderer used by every experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func f6(v float64) string { return fmt.Sprintf("%.6f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tiny-scale configurations keep the full pipelines fast while still
+// asserting the structural shapes DESIGN.md lists per experiment.
+
+func TestConvergenceExperiment(t *testing.T) {
+	res, err := Convergence(ConvergenceConfig{Authors: 80, Items: 80, Iterations: 6, Seed: 1})
+	if err != nil {
+		t.Fatalf("Convergence: %v", err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (2 datasets x 2 measures)", len(res.Series))
+	}
+	for i, s := range res.Series {
+		if len(s.Rel) != 6 || len(s.Abs) != 6 {
+			t.Fatalf("series %d has %d/%d points", i, len(s.Rel), len(s.Abs))
+		}
+		// Deltas must shrink overall (geometric convergence).
+		if s.Abs[5] >= s.Abs[1] {
+			t.Errorf("series %s/%s does not converge: %v", s.Dataset, s.Measure, s.Abs)
+		}
+	}
+	// Figure 3 shape: SemSim converges at least as fast as SimRank on
+	// the same dataset (avg abs deltas no larger at the last iteration).
+	for d := 0; d < 2; d++ {
+		sem := res.Series[2*d]
+		sr := res.Series[2*d+1]
+		if sem.Measure != "SemSim" || sr.Measure != "SimRank" {
+			t.Fatalf("unexpected series order: %v %v", sem.Measure, sr.Measure)
+		}
+		last := len(sem.Abs) - 1
+		if sem.Abs[last] > sr.Abs[last]+1e-9 {
+			t.Errorf("%s: SemSim last delta %v exceeds SimRank's %v", sem.Dataset, sem.Abs[last], sr.Abs[last])
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 3(a)", "Figure 3(b)", "AMiner/SemSim", "Amazon/SimRank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestG2ReductionExperiment(t *testing.T) {
+	res, err := G2Reduction(G2Config{Authors: 60, Articles: 60, Seed: 2})
+	if err != nil {
+		t.Fatalf("G2Reduction: %v", err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 datasets x 3 graphs)", len(res.Rows))
+	}
+	// Table 3 shape: each reduction is dramatically smaller than the
+	// full graph and shrinks further with theta.
+	for d := 0; d < 2; d++ {
+		full := res.Rows[3*d]
+		t90 := res.Rows[3*d+1]
+		t95 := res.Rows[3*d+2]
+		if t90.Nodes >= full.Nodes || t95.Nodes > t90.Nodes {
+			t.Errorf("%s: node counts not shrinking: %d %d %d", full.Dataset, full.Nodes, t90.Nodes, t95.Nodes)
+		}
+		if t90.Edges >= full.Edges {
+			t.Errorf("%s: edges not reduced: %d vs %d", full.Dataset, t90.Edges, full.Edges)
+		}
+		// Orders of magnitude reduction (paper: ~3 orders).
+		if full.Nodes/maxI64(t90.Nodes, 1) < 10 {
+			t.Errorf("%s: reduction factor only %d", full.Dataset, full.Nodes/maxI64(t90.Nodes, 1))
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestQueryTimesExperiment(t *testing.T) {
+	res, err := QueryTimes(QueryTimesConfig{
+		Items: 120, NumWalksSweep: []int{20, 40}, LengthSweep: []int{4, 8},
+		Queries: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("QueryTimes: %v", err)
+	}
+	if len(res.ByNumWalks) != 2 || len(res.ByLength) != 2 {
+		t.Fatalf("rows = %d/%d, want 2/2", len(res.ByNumWalks), len(res.ByLength))
+	}
+	for _, row := range append(res.ByNumWalks, res.ByLength...) {
+		for _, m := range QueryTimesMethods {
+			if _, ok := row.PerQuery[m]; !ok {
+				t.Fatalf("missing method %q in row %d", m, row.Param)
+			}
+		}
+		// Figure 4 shape: un-pruned SemSim is the slowest SemSim variant.
+		if row.PerQuery["SemSim-MC"] < row.PerQuery["SemSim-MC+prune+SLING"] {
+			t.Logf("note: SemSim-MC faster than SLING at param %d (tiny scale)", row.Param)
+		}
+	}
+	if res.SLINGEntries <= 0 {
+		t.Error("SLING cache empty")
+	}
+	if !strings.Contains(res.Render(), "Figure 4(a)") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAccuracyExperiment(t *testing.T) {
+	res, err := Accuracy(AccuracyConfig{
+		Authors: 70, Items: 70, Pairs: 40, Runs: 4, NumWalks: 60, Length: 8, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if len(res.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(res.Datasets))
+	}
+	for di, ds := range res.Datasets {
+		for _, m := range AccuracyMethods {
+			st := res.Stats[di][m]
+			if st.PearsonR < 0.5 {
+				t.Errorf("%s/%s: Pearson r = %v, want strong correlation", ds, m, st.PearsonR)
+			}
+			if st.MeanAbsErr < 0 || st.MeanAbsErr > 0.2 {
+				t.Errorf("%s/%s: MeanAbsErr = %v out of plausible range", ds, m, st.MeanAbsErr)
+			}
+			if st.MaxVar < st.MeanVar {
+				t.Errorf("%s/%s: MaxVar < MeanVar", ds, m)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRelatednessExperiment(t *testing.T) {
+	res, err := Relatedness(RelatednessConfig{
+		Articles: 100, Nouns: 150, Pairs: 60, NumWalks: 40, Length: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("Relatedness: %v", err)
+	}
+	if len(res.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(res.Datasets))
+	}
+	for di := range res.Datasets {
+		if len(res.Rows[di]) != 10 {
+			t.Fatalf("dataset %d has %d methods, want 10", di, len(res.Rows[di]))
+		}
+		// Rows sorted ascending by r.
+		for i := 1; i < len(res.Rows[di]); i++ {
+			if res.Rows[di][i].R < res.Rows[di][i-1].R {
+				t.Errorf("rows not sorted at %d", i)
+			}
+		}
+		// SemSim must be present and reasonably correlated.
+		sem, ok := res.Find(di, "SemSim")
+		if !ok {
+			t.Fatal("SemSim row missing")
+		}
+		if sem.R <= 0 {
+			t.Errorf("SemSim r = %v, want positive", sem.R)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestLinkPredictionExperiment(t *testing.T) {
+	res, err := LinkPrediction(PredictionConfig{
+		Items: 150, RemovedEdges: 15, Ks: []int{5, 10}, NumWalks: 40, Length: 6, Seed: 6,
+	})
+	if err != nil {
+		t.Fatalf("LinkPrediction: %v", err)
+	}
+	if len(res.Curves) != 7 {
+		t.Fatalf("curves = %d, want 7", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Hits) != 2 {
+			t.Fatalf("curve %s has %d points", c.Method, len(c.Hits))
+		}
+		// Hit rate is monotone in k.
+		if c.Hits[1] < c.Hits[0] {
+			t.Errorf("%s: hit rate decreased with k: %v", c.Method, c.Hits)
+		}
+		for _, h := range c.Hits {
+			if h < 0 || h > 1 {
+				t.Fatalf("%s: hit rate %v outside [0,1]", c.Method, h)
+			}
+		}
+	}
+	sem, ok := res.Find("SemSim")
+	if !ok {
+		t.Fatal("SemSim curve missing")
+	}
+	if sem.Hits[len(sem.Hits)-1] == 0 {
+		t.Error("SemSim predicted nothing; workload broken?")
+	}
+	if !strings.Contains(res.Render(), "Figure 5(a)") {
+		t.Error("render missing title")
+	}
+}
+
+func TestEntityResolutionExperiment(t *testing.T) {
+	res, err := EntityResolution(PredictionConfig{
+		Authors: 120, Duplicates: 10, Ks: []int{5, 10}, NumWalks: 40, Length: 6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("EntityResolution: %v", err)
+	}
+	if len(res.Curves) != 7 {
+		t.Fatalf("curves = %d, want 7", len(res.Curves))
+	}
+	sem, ok := res.Find("SemSim")
+	if !ok {
+		t.Fatal("SemSim curve missing")
+	}
+	if sem.Hits[len(sem.Hits)-1] == 0 {
+		t.Error("SemSim resolved nothing; workload broken?")
+	}
+	if !strings.Contains(res.Render(), "Figure 5(b)") {
+		t.Error("render missing title")
+	}
+}
+
+func TestPreprocessingExperiment(t *testing.T) {
+	res, err := Preprocessing(PreprocessingConfig{
+		Authors: 60, Items: 60, Articles: 60, Nouns: 120, NumWalks: 20, Length: 5, Seed: 8,
+	})
+	if err != nil {
+		t.Fatalf("Preprocessing: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WalkBytes <= 0 || row.Nodes <= 0 {
+			t.Errorf("row %s has empty stats: %+v", row.Dataset, row)
+		}
+	}
+	if !strings.Contains(res.Render(), "Preprocessing costs") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}, {"333", "4"}}}
+	out := tb.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	res, err := Ablation(AblationConfig{Nouns: 150, Pairs: 50, Items: 120, QueryPairs: 40, Seed: 9})
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if len(res.Variants) != 5 {
+		t.Fatalf("variants = %d, want 5", len(res.Variants))
+	}
+	full, ok := res.Find("SemSim (full)")
+	if !ok {
+		t.Fatal("full variant missing")
+	}
+	if full.R <= 0 {
+		t.Errorf("full SemSim r = %v, want positive", full.R)
+	}
+	if len(res.Thetas) != 5 {
+		t.Fatalf("theta rows = %d, want 5", len(res.Thetas))
+	}
+	// theta = 0 must deviate not at all from the unpruned baseline.
+	if res.Thetas[0].MeanAbs != 0 || res.Thetas[0].Zeroed != 0 {
+		t.Errorf("theta=0 row deviates: %+v", res.Thetas[0])
+	}
+	// Deviation grows (weakly) with theta; Prop 4.6 bounds it by theta
+	// plus per-walk slack.
+	for i := 1; i < len(res.Thetas); i++ {
+		row := res.Thetas[i]
+		if row.MaxAbs > row.Theta+0.05 {
+			t.Errorf("theta=%v: max deviation %v far exceeds the bound", row.Theta, row.MaxAbs)
+		}
+	}
+	if len(res.TopK) != 3 {
+		t.Fatalf("topk rows = %d, want 3", len(res.TopK))
+	}
+	for _, row := range res.TopK {
+		if row.Brute <= 0 || row.SemBounded <= 0 || row.MeetIndex <= 0 {
+			t.Errorf("items=%d: non-positive timing %+v", row.Items, row)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

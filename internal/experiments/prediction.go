@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"semsim/internal/baselines"
+	"semsim/internal/core"
+	"semsim/internal/datagen"
+	"semsim/internal/hin"
+	"semsim/internal/semantic"
+	"semsim/internal/simrank"
+	"semsim/internal/taxonomy"
+	"semsim/internal/walk"
+)
+
+// PredictionConfig sizes the Figure 5 experiments: link prediction on
+// Amazon (5a) and entity resolution on AMiner (5b).
+type PredictionConfig struct {
+	// Items / Authors size the graphs. Defaults 500 / 400.
+	Items   int
+	Authors int
+	// RemovedEdges is the link-prediction test-set size (paper: 7.5K on
+	// the full graph). Default 60.
+	RemovedEdges int
+	// Duplicates is the entity-resolution ground-truth size (paper: 30).
+	// Default 20.
+	Duplicates int
+	// CopyProb is the fraction of neighbors a duplicate shares.
+	// Default 0.7.
+	CopyProb float64
+	// Ks is the top-k sweep. Default {5, 10, 20, 30, 50}.
+	Ks []int
+	// Estimator parameters (paper defaults).
+	C        float64
+	Theta    float64
+	NumWalks int
+	Length   int
+	Seed     int64
+}
+
+func (c *PredictionConfig) fill() {
+	if c.Items == 0 {
+		c.Items = 500
+	}
+	if c.Authors == 0 {
+		c.Authors = 400
+	}
+	if c.RemovedEdges == 0 {
+		c.RemovedEdges = 60
+	}
+	if c.Duplicates == 0 {
+		c.Duplicates = 20
+	}
+	if c.CopyProb == 0 {
+		c.CopyProb = 0.7
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{5, 10, 20, 30, 50}
+	}
+	if c.C == 0 {
+		c.C = 0.6
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.05
+	}
+	if c.NumWalks == 0 {
+		c.NumWalks = 100
+	}
+	if c.Length == 0 {
+		c.Length = 10
+	}
+}
+
+// PredictionCurve is one measure's hit-rate-at-k curve.
+type PredictionCurve struct {
+	Method string
+	Ks     []int
+	Hits   []float64 // fraction of queries whose target appeared in top-k
+}
+
+// PredictionResult holds one panel of Figure 5.
+type PredictionResult struct {
+	Task   string
+	Curves []PredictionCurve
+}
+
+// predictionScorers builds the ranking measures over a (training) graph
+// with the given taxonomy.
+func predictionScorers(g *hin.Graph, tax *taxonomy.Taxonomy, relationLabel string, cfg PredictionConfig) ([]baselines.Scorer, error) {
+	lin := semantic.Lin{Tax: tax}
+	ix, err := walk.Build(g, walk.Options{NumWalks: cfg.NumWalks, Length: cfg.Length, Seed: cfg.Seed + 11, Parallel: true})
+	if err != nil {
+		return nil, err
+	}
+	// The quality tasks rank with the exact iterative SemSim scores, for
+	// two reasons the paper's own observations imply. First, on
+	// AMiner-style graphs the semantic similarity of any two authors is
+	// the constant IC(Author) ~ 0.01 (§5.3), so Algorithm 1's
+	// performance-oriented theta = 0.05 pre-filter would zero every
+	// author pair. Second, top-k ranking needs to distinguish small
+	// score differences, exactly the regime where §4.4 concedes the
+	// approximation "obscures the actual similarity ranking"; estimator
+	// fidelity is characterized separately in Table 4 / Figure 4.
+	ss, err := core.Iterative(g, lin, core.IterOptions{C: cfg.C, MaxIterations: 10, Parallel: true})
+	if err != nil {
+		return nil, err
+	}
+	srmc, err := simrank.NewMC(ix, cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	srpp, err := simrank.PlusPlus(g, simrank.IterOptions{C: cfg.C, MaxIterations: 6})
+	if err != nil {
+		return nil, err
+	}
+	panther, err := baselines.NewPanther(g, 10*g.NumNodes(), 5, cfg.Seed+12)
+	if err != nil {
+		return nil, err
+	}
+	line, err := baselines.TrainLINE(g, baselines.LINEOptions{Dim: 32, Seed: cfg.Seed + 13})
+	if err != nil {
+		return nil, err
+	}
+	pathsim, err := baselines.NewPathSim(g, []string{relationLabel})
+	if err != nil {
+		return nil, err
+	}
+	return []baselines.Scorer{
+		baselines.MatrixScorer{Scores: ss.Scores, Label: "SemSim"},
+		baselines.FuncScorer{N: "SimRank", F: srmc.Query},
+		baselines.MatrixScorer{Scores: srpp.Scores, Label: "SimRank++"},
+		panther,
+		line,
+		pathsim,
+		baselines.SemanticScorer{M: lin},
+	}, nil
+}
+
+// rankTargets runs the top-k search workload: for each (query, target)
+// pair, a top-max(Ks) search among candidates, recording at which k the
+// target appears.
+func rankTargets(g *hin.Graph, scorers []baselines.Scorer, queries [][2]hin.NodeID,
+	candidates []hin.NodeID, ks []int, task string) *PredictionResult {
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	res := &PredictionResult{Task: task}
+	for _, s := range scorers {
+		hits := make([]int, len(ks))
+		for _, q := range queries {
+			ranked := baselines.TopK(g, s, q[0], maxK, candidates)
+			pos := -1
+			for i, r := range ranked {
+				if r.Node == q[1] {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				continue
+			}
+			for ki, k := range ks {
+				if pos < k {
+					hits[ki]++
+				}
+			}
+		}
+		curve := PredictionCurve{Method: s.Name(), Ks: ks}
+		for _, h := range hits {
+			curve.Hits = append(curve.Hits, float64(h)/float64(len(queries)))
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}
+
+// LinkPrediction reproduces Figure 5(a): predicting removed co-purchase
+// edges on the Amazon graph via top-k similarity search.
+func LinkPrediction(cfg PredictionConfig) (*PredictionResult, error) {
+	cfg.fill()
+	d, err := datagen.Amazon(datagen.AmazonConfig{Items: cfg.Items, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	lp, err := datagen.RemoveEdges(d, "co-purchase", cfg.RemovedEdges, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	scorers, err := predictionScorers(lp.Train, lp.Tax, "co-purchase", cfg)
+	if err != nil {
+		return nil, err
+	}
+	candidates := lp.Train.NodesWithLabel("item")
+	return rankTargets(lp.Train, scorers, lp.Removed, candidates, cfg.Ks, "Figure 5(a): link prediction (Amazon)"), nil
+}
+
+// EntityResolution reproduces Figure 5(b): detecting injected duplicate
+// entities on the AMiner graph via top-k similarity search.
+func EntityResolution(cfg PredictionConfig) (*PredictionResult, error) {
+	cfg.fill()
+	d, err := datagen.AMiner(datagen.AMinerConfig{Authors: cfg.Authors, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	er, err := datagen.InjectDuplicates(d, cfg.Duplicates, cfg.CopyProb, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	scorers, err := predictionScorers(er.Graph, er.Tax, "co-author", cfg)
+	if err != nil {
+		return nil, err
+	}
+	candidates := er.Graph.NodesWithLabel(d.EntityLabel)
+	return rankTargets(er.Graph, scorers, er.Pairs, candidates, cfg.Ks, "Figure 5(b): entity resolution (AMiner)"), nil
+}
+
+// Find returns the curve for a method (ok=false when missing).
+func (r *PredictionResult) Find(method string) (PredictionCurve, bool) {
+	for _, c := range r.Curves {
+		if c.Method == method {
+			return c, true
+		}
+	}
+	return PredictionCurve{}, false
+}
+
+// Render prints the hit-rate table.
+func (r *PredictionResult) Render() string {
+	if len(r.Curves) == 0 {
+		return ""
+	}
+	header := []string{"method"}
+	for _, k := range r.Curves[0].Ks {
+		header = append(header, fmt.Sprintf("top-%d", k))
+	}
+	t := Table{Title: r.Task, Header: header}
+	for _, c := range r.Curves {
+		row := []string{c.Method}
+		for _, h := range c.Hits {
+			row = append(row, f3(h))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.Render()
+}

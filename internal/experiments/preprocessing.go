@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semsim/internal/datagen"
+	"semsim/internal/mc"
+	"semsim/internal/taxonomy"
+	"semsim/internal/walk"
+)
+
+// PreprocessingConfig sizes the Section 5.2 preprocessing report (walk
+// sampling time, taxonomy/IC/LCA processing time, index storage).
+type PreprocessingConfig struct {
+	// Authors / Items / Articles / Nouns size the four datasets.
+	// Defaults 500 each (Nouns 2000).
+	Authors  int
+	Items    int
+	Articles int
+	Nouns    int
+	// NumWalks / Length as in Section 5.1.
+	NumWalks int
+	Length   int
+	Seed     int64
+}
+
+func (c *PreprocessingConfig) fill() {
+	if c.Authors == 0 {
+		c.Authors = 500
+	}
+	if c.Items == 0 {
+		c.Items = 500
+	}
+	if c.Articles == 0 {
+		c.Articles = 500
+	}
+	if c.Nouns == 0 {
+		c.Nouns = 2000
+	}
+	if c.NumWalks == 0 {
+		c.NumWalks = walk.DefaultNumWalks
+	}
+	if c.Length == 0 {
+		c.Length = walk.DefaultLength
+	}
+}
+
+// PreprocessingRow reports one dataset's offline costs.
+type PreprocessingRow struct {
+	Dataset       string
+	Nodes, Edges  int
+	WalkBuild     time.Duration
+	WalkBytes     int64
+	TaxonomyBuild time.Duration // IC + LCA preprocessing
+	SOCacheBuild  time.Duration // SLING-style precompute at cutoff 0.1
+	SOCacheBytes  int64
+}
+
+// PreprocessingResult holds the report.
+type PreprocessingResult struct {
+	Rows []PreprocessingRow
+}
+
+// Preprocessing reproduces the Section 5.2 preprocessing cost report.
+func Preprocessing(cfg PreprocessingConfig) (*PreprocessingResult, error) {
+	cfg.fill()
+	var datasets []*datagen.Dataset
+	am, err := datagen.AMiner(datagen.AMinerConfig{Authors: cfg.Authors, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	az, err := datagen.Amazon(datagen.AmazonConfig{Items: cfg.Items, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	wp, err := datagen.Wikipedia(datagen.WikipediaConfig{Articles: cfg.Articles, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	wn, err := datagen.WordNet(datagen.WordNetConfig{Nouns: cfg.Nouns, Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, err
+	}
+	datasets = append(datasets, am, az, wp, wn)
+
+	res := &PreprocessingResult{}
+	for _, d := range datasets {
+		row := PreprocessingRow{Dataset: d.Name, Nodes: d.Graph.NumNodes(), Edges: d.Graph.NumEdges()}
+
+		start := time.Now()
+		ix, err := walk.Build(d.Graph, walk.Options{NumWalks: cfg.NumWalks, Length: cfg.Length, Seed: cfg.Seed + 9, Parallel: true})
+		if err != nil {
+			return nil, err
+		}
+		row.WalkBuild = time.Since(start)
+		row.WalkBytes = ix.MemoryBytes()
+
+		start = time.Now()
+		if _, err := taxonomy.FromGraph(d.Graph, taxonomy.Options{}); err != nil {
+			return nil, err
+		}
+		row.TaxonomyBuild = time.Since(start)
+
+		start = time.Now()
+		cache := mc.NewSOCache(d.Graph, d.Lin, 0)
+		cache.Precompute()
+		row.SOCacheBuild = time.Since(start)
+		row.SOCacheBytes = cache.MemoryBytes()
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the report.
+func (r *PreprocessingResult) Render() string {
+	t := Table{
+		Title: "Preprocessing costs (Section 5.2)",
+		Header: []string{"dataset", "nodes", "edges", "walk build", "walk index",
+			"taxonomy (IC+LCA)", "SO-cache build", "SO-cache size"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Dataset,
+			fmt.Sprintf("%d", row.Nodes), fmt.Sprintf("%d", row.Edges),
+			row.WalkBuild.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fMB", float64(row.WalkBytes)/(1<<20)),
+			row.TaxonomyBuild.Round(time.Microsecond).String(),
+			row.SOCacheBuild.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fMB", float64(row.SOCacheBytes)/(1<<20)),
+		})
+	}
+	return t.Render()
+}

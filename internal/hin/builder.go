@@ -1,0 +1,237 @@
+package hin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and freezes them into an immutable
+// Graph. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	names      []string
+	nameIndex  map[string]NodeID
+	nodeLabels []int32
+
+	labelNames []string
+	labelIndex map[string]int32
+
+	from   []NodeID
+	to     []NodeID
+	weight []float64
+	elabel []int32
+
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nameIndex:  make(map[string]NodeID),
+		labelIndex: make(map[string]int32),
+	}
+}
+
+func (b *Builder) intern(label string) int32 {
+	if id, ok := b.labelIndex[label]; ok {
+		return id
+	}
+	id := int32(len(b.labelNames))
+	b.labelNames = append(b.labelNames, label)
+	b.labelIndex[label] = id
+	return id
+}
+
+// AddNode registers a node with a unique external name and a vertex label,
+// returning its id. Re-adding an existing name returns the original id and
+// records an error if the label differs.
+func (b *Builder) AddNode(name, label string) NodeID {
+	if id, ok := b.nameIndex[name]; ok {
+		if b.labelNames[b.nodeLabels[id]] != label && b.err == nil {
+			b.err = fmt.Errorf("hin: node %q re-added with label %q (was %q)",
+				name, label, b.labelNames[b.nodeLabels[id]])
+		}
+		return id
+	}
+	id := NodeID(len(b.names))
+	b.names = append(b.names, name)
+	b.nameIndex[name] = id
+	b.nodeLabels = append(b.nodeLabels, b.intern(label))
+	return id
+}
+
+// NumNodes reports how many nodes have been added so far.
+func (b *Builder) NumNodes() int { return len(b.names) }
+
+// HasNode reports whether name has been added.
+func (b *Builder) HasNode(name string) bool {
+	_, ok := b.nameIndex[name]
+	return ok
+}
+
+// Node resolves a previously added name.
+func (b *Builder) Node(name string) (NodeID, bool) {
+	id, ok := b.nameIndex[name]
+	return id, ok
+}
+
+// NodeName returns the external name of an already-added node.
+func (b *Builder) NodeName(id NodeID) string { return b.names[id] }
+
+// AddEdge appends a directed edge. Weights must be finite and > 0
+// (Definition 2.1 requires W: E -> R+); violations are recorded and
+// reported by Build.
+func (b *Builder) AddEdge(from, to NodeID, label string, weight float64) {
+	if b.err == nil {
+		switch {
+		case int(from) < 0 || int(from) >= len(b.names):
+			b.err = fmt.Errorf("hin: edge source %d out of range [0,%d)", from, len(b.names))
+		case int(to) < 0 || int(to) >= len(b.names):
+			b.err = fmt.Errorf("hin: edge target %d out of range [0,%d)", to, len(b.names))
+		case math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0:
+			b.err = fmt.Errorf("hin: edge %s->%s has non-positive or non-finite weight %v",
+				b.names[from], b.names[to], weight)
+		}
+	}
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	b.weight = append(b.weight, weight)
+	b.elabel = append(b.elabel, b.intern(label))
+}
+
+// AddUndirected appends the two directed edges (from,to) and (to,from) with
+// the same label and weight, the paper's adaptation for undirected
+// relations such as co-authorship and co-purchase.
+func (b *Builder) AddUndirected(a, c NodeID, label string, weight float64) {
+	b.AddEdge(a, c, label, weight)
+	b.AddEdge(c, a, label, weight)
+}
+
+// Build freezes the accumulated nodes and edges into an immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.names) == 0 {
+		return nil, errors.New("hin: graph has no nodes")
+	}
+	n := len(b.names)
+	m := len(b.from)
+
+	g := &Graph{
+		n:          n,
+		names:      append([]string(nil), b.names...),
+		nameIndex:  make(map[string]NodeID, n),
+		nodeLabels: append([]int32(nil), b.nodeLabels...),
+		labelNames: append([]string(nil), b.labelNames...),
+		labelIndex: make(map[string]int32, len(b.labelNames)),
+	}
+	for name, id := range b.nameIndex {
+		g.nameIndex[name] = id
+	}
+	for label, id := range b.labelIndex {
+		g.labelIndex[label] = id
+	}
+
+	// Forward CSR via counting sort on source.
+	g.outOff = make([]int32, n+1)
+	for _, f := range b.from {
+		g.outOff[f+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+	g.outTo = make([]NodeID, m)
+	g.outW = make([]float64, m)
+	g.outLabel = make([]int32, m)
+	cursor := make([]int32, n)
+	copy(cursor, g.outOff[:n])
+	for i := 0; i < m; i++ {
+		f := b.from[i]
+		p := cursor[f]
+		cursor[f]++
+		g.outTo[p] = b.to[i]
+		g.outW[p] = b.weight[i]
+		g.outLabel[p] = b.elabel[i]
+	}
+	// Deterministic neighbor order within each row.
+	for v := 0; v < n; v++ {
+		lo, hi := g.outOff[v], g.outOff[v+1]
+		sortRow(g.outTo[lo:hi], g.outW[lo:hi], g.outLabel[lo:hi])
+	}
+
+	// Reverse CSR via counting sort on target.
+	g.inOff = make([]int32, n+1)
+	for _, t := range b.to {
+		g.inOff[t+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inFrom = make([]NodeID, m)
+	g.inW = make([]float64, m)
+	g.inLabel = make([]int32, m)
+	copy(cursor, g.inOff[:n])
+	for i := 0; i < m; i++ {
+		t := b.to[i]
+		p := cursor[t]
+		cursor[t]++
+		g.inFrom[p] = b.from[i]
+		g.inW[p] = b.weight[i]
+		g.inLabel[p] = b.elabel[i]
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		sortRow(g.inFrom[lo:hi], g.inW[lo:hi], g.inLabel[lo:hi])
+	}
+
+	g.inWSum = make([]float64, n)
+	for v := 0; v < n; v++ {
+		var s float64
+		for _, w := range g.InWeights(NodeID(v)) {
+			s += w
+		}
+		g.inWSum[v] = s
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// generators whose inputs are known valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortRow sorts a CSR row by (neighbor, label, weight) keeping the three
+// parallel slices aligned.
+func sortRow(ids []NodeID, ws []float64, ls []int32) {
+	row := csrRow{ids, ws, ls}
+	sort.Sort(row)
+}
+
+type csrRow struct {
+	ids []NodeID
+	ws  []float64
+	ls  []int32
+}
+
+func (r csrRow) Len() int { return len(r.ids) }
+func (r csrRow) Less(i, j int) bool {
+	if r.ids[i] != r.ids[j] {
+		return r.ids[i] < r.ids[j]
+	}
+	if r.ls[i] != r.ls[j] {
+		return r.ls[i] < r.ls[j]
+	}
+	return r.ws[i] < r.ws[j]
+}
+func (r csrRow) Swap(i, j int) {
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+	r.ws[i], r.ws[j] = r.ws[j], r.ws[i]
+	r.ls[i], r.ls[j] = r.ls[j], r.ls[i]
+}

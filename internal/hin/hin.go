@@ -1,0 +1,242 @@
+// Package hin implements the Heterogeneous Information Network (HIN) graph
+// model of Definition 2.1 in "Boosting SimRank with Semantics" (EDBT 2019):
+// a directed graph G = (V, E, phi, psi, W) with vertex labels, edge labels
+// and strictly positive edge weights.
+//
+// Graphs are immutable once built. A Builder accumulates nodes and edges and
+// Build freezes them into compact CSR (compressed sparse row) adjacency for
+// both directions; every similarity algorithm in this repository walks the
+// *in*-neighborhood (SimRank-style reversed surfing), so the reverse CSR is
+// first-class rather than derived on demand.
+package hin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID is a dense index of a vertex in a Graph. IDs are assigned in
+// insertion order by the Builder, starting at 0.
+type NodeID int32
+
+// DefaultWeight is the edge weight used when no relation-strength knowledge
+// is available (the paper sets such weights to 1).
+const DefaultWeight = 1.0
+
+// Edge is one directed, labeled, weighted edge. It is the unit of input to
+// a Builder and of iteration over a built Graph.
+type Edge struct {
+	From   NodeID
+	To     NodeID
+	Label  string
+	Weight float64
+}
+
+// Graph is an immutable heterogeneous information network.
+//
+// Neighbor slices returned by accessor methods alias internal storage and
+// must not be modified.
+type Graph struct {
+	n int
+
+	names      []string
+	nameIndex  map[string]NodeID
+	nodeLabels []int32
+
+	labelNames []string
+	labelIndex map[string]int32
+
+	// Forward CSR: out-edges of v live at [outOff[v], outOff[v+1]).
+	outOff   []int32
+	outTo    []NodeID
+	outW     []float64
+	outLabel []int32
+
+	// Reverse CSR: in-edges of v live at [inOff[v], inOff[v+1]).
+	inOff   []int32
+	inFrom  []NodeID
+	inW     []float64
+	inLabel []int32
+
+	// Per-node total in-edge weight, used by weighted transition
+	// distributions.
+	inWSum []float64
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges reports |E| (directed edges, parallel edges counted).
+func (g *Graph) NumEdges() int { return len(g.outTo) }
+
+// NumLabels reports the number of distinct labels (vertex and edge labels
+// share one interning table).
+func (g *Graph) NumLabels() int { return len(g.labelNames) }
+
+// NodeName returns the external name of v.
+func (g *Graph) NodeName(v NodeID) string { return g.names[v] }
+
+// NodeByName resolves an external node name to its NodeID.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.nameIndex[name]
+	return id, ok
+}
+
+// MustNode is NodeByName that panics on unknown names; intended for tests
+// and examples where the node is known to exist.
+func (g *Graph) MustNode(name string) NodeID {
+	id, ok := g.nameIndex[name]
+	if !ok {
+		panic(fmt.Sprintf("hin: unknown node %q", name))
+	}
+	return id
+}
+
+// NodeLabel returns the vertex label phi(v).
+func (g *Graph) NodeLabel(v NodeID) string { return g.labelNames[g.nodeLabels[v]] }
+
+// NodeLabelID returns the interned id of phi(v).
+func (g *Graph) NodeLabelID(v NodeID) int32 { return g.nodeLabels[v] }
+
+// LabelName returns the string for an interned label id.
+func (g *Graph) LabelName(id int32) string { return g.labelNames[id] }
+
+// LabelID resolves a label string to its interned id.
+func (g *Graph) LabelID(label string) (int32, bool) {
+	id, ok := g.labelIndex[label]
+	return id, ok
+}
+
+// OutNeighbors returns O(v): the targets of v's out-edges.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID { return g.outTo[g.outOff[v]:g.outOff[v+1]] }
+
+// OutWeights returns the weights parallel to OutNeighbors(v).
+func (g *Graph) OutWeights(v NodeID) []float64 { return g.outW[g.outOff[v]:g.outOff[v+1]] }
+
+// OutLabels returns the interned edge-label ids parallel to OutNeighbors(v).
+func (g *Graph) OutLabels(v NodeID) []int32 { return g.outLabel[g.outOff[v]:g.outOff[v+1]] }
+
+// InNeighbors returns I(v): the sources of v's in-edges.
+func (g *Graph) InNeighbors(v NodeID) []NodeID { return g.inFrom[g.inOff[v]:g.inOff[v+1]] }
+
+// InWeights returns the weights parallel to InNeighbors(v); InWeights(v)[i]
+// is W(I_i(v), v).
+func (g *Graph) InWeights(v NodeID) []float64 { return g.inW[g.inOff[v]:g.inOff[v+1]] }
+
+// InLabels returns the interned edge-label ids parallel to InNeighbors(v).
+func (g *Graph) InLabels(v NodeID) []int32 { return g.inLabel[g.inOff[v]:g.inOff[v+1]] }
+
+// InDegree reports |I(v)|.
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// InEdgeAggregate returns the total weight and multiplicity of in-edges of
+// v originating at from (0, 0 if there is no such edge). In-neighbor rows
+// are sorted by source, so the lookup is a binary search.
+func (g *Graph) InEdgeAggregate(v, from NodeID) (weight float64, multiplicity int) {
+	row := g.inFrom[g.inOff[v]:g.inOff[v+1]]
+	ws := g.inW[g.inOff[v]:g.inOff[v+1]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(row) && row[i] == from; i++ {
+		weight += ws[i]
+		multiplicity++
+	}
+	return weight, multiplicity
+}
+
+// OutDegree reports |O(v)|.
+func (g *Graph) OutDegree(v NodeID) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InWeightSum returns the total weight of v's in-edges.
+func (g *Graph) InWeightSum(v NodeID) float64 { return g.inWSum[v] }
+
+// AvgInDegree reports the average in-degree d used in the paper's
+// complexity statements.
+func (g *Graph) AvgInDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.inFrom)) / float64(g.n)
+}
+
+// Edges iterates all edges in a deterministic order, invoking fn for each.
+// Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for v := 0; v < g.n; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			e := Edge{
+				From:   NodeID(v),
+				To:     g.outTo[i],
+				Label:  g.labelNames[g.outLabel[i]],
+				Weight: g.outW[i],
+			}
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// NodesWithLabel returns all nodes whose vertex label equals label, in id
+// order. It returns nil when the label is unknown.
+func (g *Graph) NodesWithLabel(label string) []NodeID {
+	id, ok := g.labelIndex[label]
+	if !ok {
+		return nil
+	}
+	var out []NodeID
+	for v := 0; v < g.n; v++ {
+		if g.nodeLabels[v] == id {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Stats summarizes a graph's size and degree distribution.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	Labels      int
+	AvgInDeg    float64
+	MaxInDeg    int
+	MaxOutDeg   int
+	TotalWeight float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: g.n, Edges: len(g.outTo), Labels: len(g.labelNames), AvgInDeg: g.AvgInDegree()}
+	for v := 0; v < g.n; v++ {
+		if d := g.InDegree(NodeID(v)); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+		if d := g.OutDegree(NodeID(v)); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+	}
+	for _, w := range g.outW {
+		s.TotalWeight += w
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("hin.Graph{nodes: %d, edges: %d, labels: %d}", g.n, len(g.outTo), len(g.labelNames))
+}
+
+// SortedLabelNames returns all label strings in sorted order (useful for
+// deterministic reporting).
+func (g *Graph) SortedLabelNames() []string {
+	out := append([]string(nil), g.labelNames...)
+	sort.Strings(out)
+	return out
+}

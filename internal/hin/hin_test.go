@@ -1,0 +1,346 @@
+package hin
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddNode("a", "author")
+	c := b.AddNode("c", "author")
+	d := b.AddNode("d", "field")
+	b.AddEdge(a, c, "coauthor", 2)
+	b.AddEdge(c, a, "coauthor", 2)
+	b.AddEdge(a, d, "interest", 1)
+	b.AddEdge(c, d, "interest", 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildTriangle(t)
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes, %d edges; want 3, 4", g.NumNodes(), g.NumEdges())
+	}
+	d := g.MustNode("d")
+	if got := g.InDegree(d); got != 2 {
+		t.Errorf("InDegree(d) = %d, want 2", got)
+	}
+	if got := g.InWeightSum(d); got != 4 {
+		t.Errorf("InWeightSum(d) = %v, want 4", got)
+	}
+	if got := g.NodeLabel(d); got != "field" {
+		t.Errorf("NodeLabel(d) = %q, want field", got)
+	}
+	in := g.InNeighbors(d)
+	if len(in) != 2 || g.NodeName(in[0]) != "a" || g.NodeName(in[1]) != "c" {
+		t.Errorf("InNeighbors(d) = %v, want [a c]", in)
+	}
+	// Parallel weights follow the neighbor order.
+	w := g.InWeights(d)
+	if w[0] != 1 || w[1] != 3 {
+		t.Errorf("InWeights(d) = %v, want [1 3]", w)
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Builder)
+	}{
+		{"zero weight", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(a, a, "l", 0)
+		}},
+		{"negative weight", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(a, a, "l", -1)
+		}},
+		{"nan weight", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(a, a, "l", math.NaN())
+		}},
+		{"inf weight", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(a, a, "l", math.Inf(1))
+		}},
+		{"out of range target", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(a, 7, "l", 1)
+		}},
+		{"out of range source", func(b *Builder) {
+			a := b.AddNode("a", "x")
+			b.AddEdge(-1, a, "l", 1)
+		}},
+		{"relabel node", func(b *Builder) {
+			b.AddNode("a", "x")
+			b.AddNode("a", "y")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			if _, err := b.Build(); err == nil {
+				t.Fatalf("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestBuildEmptyGraphFails(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("Build of empty graph succeeded, want error")
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.AddNode("a", "author")
+	a2 := b.AddNode("a", "author")
+	if a1 != a2 {
+		t.Fatalf("AddNode twice gave %d and %d", a1, a2)
+	}
+	if b.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", b.NumNodes())
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("a", "x")
+	c := b.AddNode("c", "x")
+	b.AddUndirected(a, c, "co", 2.5)
+	g := b.MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.InWeightSum(a) != 2.5 || g.InWeightSum(c) != 2.5 {
+		t.Fatalf("in weight sums = %v, %v; want 2.5 each", g.InWeightSum(a), g.InWeightSum(c))
+	}
+}
+
+func TestEdgesIterationDeterministic(t *testing.T) {
+	g := buildTriangle(t)
+	var order1, order2 []Edge
+	g.Edges(func(e Edge) bool { order1 = append(order1, e); return true })
+	g.Edges(func(e Edge) bool { order2 = append(order2, e); return true })
+	if len(order1) != g.NumEdges() {
+		t.Fatalf("iterated %d edges, want %d", len(order1), g.NumEdges())
+	}
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatalf("iteration order differs at %d: %v vs %v", i, order1[i], order2[i])
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := buildTriangle(t)
+	count := 0
+	g.Edges(func(Edge) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d edges, want 1", count)
+	}
+}
+
+func TestNodesWithLabel(t *testing.T) {
+	g := buildTriangle(t)
+	authors := g.NodesWithLabel("author")
+	if len(authors) != 2 {
+		t.Fatalf("NodesWithLabel(author) = %v, want 2 nodes", authors)
+	}
+	if g.NodesWithLabel("nope") != nil {
+		t.Fatal("NodesWithLabel(nope) should be nil")
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	g := buildTriangle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %v, want %v", g2, g)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if g.NodeName(id) != g2.NodeName(id) || g.NodeLabel(id) != g2.NodeLabel(id) {
+			t.Errorf("node %d mismatch after round trip", v)
+		}
+		if g.InWeightSum(id) != g2.InWeightSum(id) {
+			t.Errorf("InWeightSum(%d) mismatch: %v vs %v", v, g.InWeightSum(id), g2.InWeightSum(id))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"bad record", "x what\n"},
+		{"short node", "n onlyname\n"},
+		{"short edge", "n a x\ne a a l\n"},
+		{"unknown source", "n a x\ne b a l 1\n"},
+		{"unknown target", "n a x\ne a b l 1\n"},
+		{"bad weight", "n a x\ne a a l notanumber\n"},
+		{"zero weight", "n a x\ne a a l 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("Read succeeded on %q, want error", tc.input)
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	g, err := Read(strings.NewReader("# header\n\nn a x\n  \nn b y\ne a b l 2\n"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v, want 2 nodes 1 edge", g)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := buildTriangle(t)
+	sub, mapping, err := Induced(g, []NodeID{g.MustNode("a"), g.MustNode("d")})
+	if err != nil {
+		t.Fatalf("Induced: %v", err)
+	}
+	if sub.NumNodes() != 2 {
+		t.Fatalf("induced nodes = %d, want 2", sub.NumNodes())
+	}
+	// Only a->d survives (c dropped).
+	if sub.NumEdges() != 1 {
+		t.Fatalf("induced edges = %d, want 1", sub.NumEdges())
+	}
+	if mapping[g.MustNode("c")] != -1 {
+		t.Errorf("dropped node should map to -1")
+	}
+	if sub.NodeName(mapping[g.MustNode("a")]) != "a" {
+		t.Errorf("kept node name mismatch")
+	}
+}
+
+func TestInducedDuplicateKeep(t *testing.T) {
+	g := buildTriangle(t)
+	a := g.MustNode("a")
+	sub, _, err := Induced(g, []NodeID{a, a})
+	if err != nil {
+		t.Fatalf("Induced: %v", err)
+	}
+	if sub.NumNodes() != 1 {
+		t.Fatalf("induced nodes = %d, want 1", sub.NumNodes())
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	g := buildTriangle(t)
+	a, c := g.MustNode("a"), g.MustNode("c")
+	g2, err := WithoutEdges(g, []EdgeKey{{a, c, "coauthor"}})
+	if err != nil {
+		t.Fatalf("WithoutEdges: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("edges = %d, want %d", g2.NumEdges(), g.NumEdges()-1)
+	}
+	// Node ids preserved.
+	if g2.NodeName(a) != "a" {
+		t.Errorf("node ids not preserved")
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := buildTriangle(t)
+	g2, err := FilterEdges(g, func(e Edge) bool { return e.Label == "interest" })
+	if err != nil {
+		t.Fatalf("FilterEdges: %v", err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("filtered edges = %d, want 2", g2.NumEdges())
+	}
+}
+
+// TestCSRConsistency checks on random graphs that forward and reverse CSR
+// describe the same edge multiset and that weight sums agree.
+func TestCSRConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(nodeName(i), "t")
+		}
+		m := rng.Intn(120)
+		type triple struct {
+			f, to int
+			w     float64
+		}
+		var want []triple
+		for i := 0; i < m; i++ {
+			f, to := rng.Intn(n), rng.Intn(n)
+			w := 0.1 + rng.Float64()
+			b.AddEdge(NodeID(f), NodeID(to), "l", w)
+			want = append(want, triple{f, to, w})
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != m {
+			return false
+		}
+		// Every edge visible forward must be visible in reverse.
+		var fwdW, revW float64
+		for v := 0; v < n; v++ {
+			for _, w := range g.OutWeights(NodeID(v)) {
+				fwdW += w
+			}
+			for _, w := range g.InWeights(NodeID(v)) {
+				revW += w
+			}
+		}
+		var wantW float64
+		for _, tr := range want {
+			wantW += tr.w
+		}
+		return math.Abs(fwdW-wantW) < 1e-9 && math.Abs(revW-wantW) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+}
+
+func TestStats(t *testing.T) {
+	g := buildTriangle(t)
+	s := g.Stats()
+	if s.Nodes != 3 || s.Edges != 4 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.MaxInDeg != 2 || s.TotalWeight != 8 {
+		t.Fatalf("Stats = %+v, want MaxInDeg 2, TotalWeight 8", s)
+	}
+	if math.Abs(s.AvgInDeg-4.0/3.0) > 1e-12 {
+		t.Fatalf("AvgInDeg = %v", s.AvgInDeg)
+	}
+}

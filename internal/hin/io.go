@@ -1,0 +1,84 @@
+package hin
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line oriented:
+//
+//	# comment
+//	n <name> <label>
+//	e <from-name> <to-name> <label> <weight>
+//
+// Names and labels are URL-ish tokens without whitespace; weights parse as
+// float64. Node lines must precede edges that reference them.
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# semsim HIN: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.n; v++ {
+		if _, err := fmt.Fprintf(bw, "n %s %s\n", g.names[v], g.NodeLabel(NodeID(v))); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.Edges(func(e Edge) bool {
+		_, werr = fmt.Fprintf(bw, "e %s %s %s %g\n", g.names[e.From], g.names[e.To], e.Label, e.Weight)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format into a Graph.
+func Read(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("hin: line %d: node wants 'n name label', got %q", lineNo, line)
+			}
+			b.AddNode(fields[1], fields[2])
+		case "e":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("hin: line %d: edge wants 'e from to label weight', got %q", lineNo, line)
+			}
+			from, ok := b.Node(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("hin: line %d: unknown source node %q", lineNo, fields[1])
+			}
+			to, ok := b.Node(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("hin: line %d: unknown target node %q", lineNo, fields[2])
+			}
+			w, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hin: line %d: bad weight %q: %v", lineNo, fields[4], err)
+			}
+			b.AddEdge(from, to, fields[3], w)
+		default:
+			return nil, fmt.Errorf("hin: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

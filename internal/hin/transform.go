@@ -1,0 +1,115 @@
+package hin
+
+import "fmt"
+
+// Transformations produce new immutable graphs from existing ones; they are
+// used to derive the paper's "small versions" of datasets and the
+// link-prediction workload (which removes a sample of edges).
+
+// Induced builds the subgraph induced by keep: the kept nodes with their
+// original names and labels, and every edge whose both endpoints are kept.
+// The mapping from old to new ids is returned alongside the graph (entries
+// for dropped nodes are -1).
+func Induced(g *Graph, keep []NodeID) (*Graph, []NodeID, error) {
+	mapping := make([]NodeID, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	b := NewBuilder()
+	for _, v := range keep {
+		if mapping[v] != -1 {
+			continue // duplicate in keep
+		}
+		mapping[v] = b.AddNode(g.NodeName(v), g.NodeLabel(v))
+	}
+	g.Edges(func(e Edge) bool {
+		nf, nt := mapping[e.From], mapping[e.To]
+		if nf >= 0 && nt >= 0 {
+			b.AddEdge(nf, nt, e.Label, e.Weight)
+		}
+		return true
+	})
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+// EdgeKey identifies a directed edge by endpoints and label for removal.
+type EdgeKey struct {
+	From  NodeID
+	To    NodeID
+	Label string
+}
+
+// WithoutEdges rebuilds g dropping every edge matching a key in drop. Each
+// key removes all parallel copies of that (from, to, label) edge. Node ids
+// are preserved.
+func WithoutEdges(g *Graph, drop []EdgeKey) (*Graph, error) {
+	type key struct {
+		from, to NodeID
+		label    string
+	}
+	dropSet := make(map[key]bool, len(drop))
+	for _, d := range drop {
+		dropSet[key{d.From, d.To, d.Label}] = true
+	}
+	b := NewBuilder()
+	for v := 0; v < g.NumNodes(); v++ {
+		b.AddNode(g.NodeName(NodeID(v)), g.NodeLabel(NodeID(v)))
+	}
+	g.Edges(func(e Edge) bool {
+		if !dropSet[key{e.From, e.To, e.Label}] {
+			b.AddEdge(e.From, e.To, e.Label, e.Weight)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// ChangedInNeighborhoods compares two graphs over the same node set and
+// returns the nodes whose in-neighborhood (sources, weights or labels)
+// differs — the invalidation set for incremental walk-index maintenance.
+func ChangedInNeighborhoods(old, new *Graph) ([]NodeID, error) {
+	if old.NumNodes() != new.NumNodes() {
+		return nil, fmt.Errorf("hin: node counts differ: %d vs %d", old.NumNodes(), new.NumNodes())
+	}
+	var changed []NodeID
+	for v := 0; v < old.NumNodes(); v++ {
+		id := NodeID(v)
+		oi, ni := old.InNeighbors(id), new.InNeighbors(id)
+		ow, nw := old.InWeights(id), new.InWeights(id)
+		ol, nl := old.InLabels(id), new.InLabels(id)
+		if len(oi) != len(ni) {
+			changed = append(changed, id)
+			continue
+		}
+		for i := range oi {
+			// Labels are compared by name: interned ids are not stable
+			// across independently built graphs.
+			if oi[i] != ni[i] || ow[i] != nw[i] ||
+				old.LabelName(ol[i]) != new.LabelName(nl[i]) {
+				changed = append(changed, id)
+				break
+			}
+		}
+	}
+	return changed, nil
+}
+
+// FilterEdges rebuilds g keeping only edges for which keep returns true.
+// Node ids are preserved.
+func FilterEdges(g *Graph, keepEdge func(Edge) bool) (*Graph, error) {
+	b := NewBuilder()
+	for v := 0; v < g.NumNodes(); v++ {
+		b.AddNode(g.NodeName(NodeID(v)), g.NodeLabel(NodeID(v)))
+	}
+	g.Edges(func(e Edge) bool {
+		if keepEdge(e) {
+			b.AddEdge(e.From, e.To, e.Label, e.Weight)
+		}
+		return true
+	})
+	return b.Build()
+}

@@ -1,0 +1,199 @@
+// Package mc implements the paper's Section 4: Monte-Carlo approximation of
+// SemSim. The centerpiece is the importance-sampling estimator of
+// Algorithm 1, which reuses walks drawn from the *uniform* proposal
+// distribution Q (the SimRank walk index of package walk) to estimate the
+// expectation under the semantic-aware distribution P:
+//
+//	sim(u,v) = sem(u,v) * E_Q[ (P(w)/Q(w)) * c^tau ]
+//
+// avoiding the O(n^2) sample-set blowup of the naive per-pair sampler
+// (Section 4.2, provided here as NaiveSampler for the comparison
+// experiments). The theta-pruning of Section 4.4 caps each coupled walk's
+// contribution once it falls below theta, trading a bounded one-sided
+// additive error (Prop 4.6) for running times on par with SimRank. A
+// SLING-style cache (Section 5.2) memoizes the O(d^2) per-step
+// normalization SO(a,b) for semantically close pairs.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"semsim/internal/hin"
+	"semsim/internal/pairgraph"
+	"semsim/internal/rank"
+	"semsim/internal/semantic"
+	"semsim/internal/walk"
+)
+
+// Options configure an Estimator.
+type Options struct {
+	// C is the decay factor in (0,1).
+	C float64
+	// Theta enables pruning when > 0 (the paper uses 0.05): pairs with
+	// sem <= Theta score 0 and coupled-walk contributions are capped
+	// once they drop to <= Theta. Lemma 4.7 advises Theta <= 1-C.
+	Theta float64
+	// Cache, when non-nil, memoizes SO normalizations (SLING-style).
+	Cache *SOCache
+}
+
+// Estimator answers single-pair SemSim queries from a shared walk index.
+// It is not safe for concurrent use when a Cache is attached.
+type Estimator struct {
+	ix    *walk.Index
+	g     *hin.Graph
+	sem   semantic.Measure
+	c     float64
+	theta float64
+	cache *SOCache
+}
+
+// New builds an Estimator over a walk index.
+func New(ix *walk.Index, sem semantic.Measure, opts Options) (*Estimator, error) {
+	if opts.C <= 0 || opts.C >= 1 {
+		return nil, fmt.Errorf("mc: decay factor c = %v outside (0,1)", opts.C)
+	}
+	if opts.Theta < 0 || opts.Theta >= 1 {
+		return nil, fmt.Errorf("mc: theta = %v outside [0,1)", opts.Theta)
+	}
+	return &Estimator{
+		ix:    ix,
+		g:     ix.Graph(),
+		sem:   sem,
+		c:     opts.C,
+		theta: opts.Theta,
+		cache: opts.Cache,
+	}, nil
+}
+
+// so returns the SARW normalization for the pair (a,b), via the cache when
+// one is attached. The pair is canonicalized so that cached and direct
+// computations sum in the same order (bit-identical results).
+func (e *Estimator) so(a, b hin.NodeID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if e.cache != nil {
+		return e.cache.SO(a, b)
+	}
+	return pairgraph.SO(e.g, e.sem, a, b)
+}
+
+// Query estimates sim(u,v) with Algorithm 1. The returned score is clamped
+// into [0,1] (cf. Lemma 4.7).
+func (e *Estimator) Query(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	semUV := e.sem.Sim(u, v)
+	if e.theta > 0 && semUV <= e.theta {
+		return 0 // lines 2-3 of Algorithm 1
+	}
+	nw := e.ix.NumWalks()
+	var total float64
+	for i := 0; i < nw; i++ {
+		tau, ok := e.ix.Meet(u, v, i)
+		if !ok {
+			continue
+		}
+		total += e.walkScore(u, v, i, tau)
+	}
+	score := semUV * total / float64(nw)
+	if score < 0 {
+		return 0
+	}
+	if score > 1 {
+		return 1
+	}
+	return score
+}
+
+// walkScore computes (P/Q) * c^tau for the prefix of the i-th coupled walk
+// up to its meeting offset tau, with theta pruning (lines 10-18).
+func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
+	wu := e.ix.Walk(u, i)
+	wv := e.ix.Walk(v, i)
+	simW := 1.0
+	for s := 0; s < tau; s++ {
+		cu, cv := hin.NodeID(wu[s]), hin.NodeID(wv[s])
+		nu, nv := hin.NodeID(wu[s+1]), hin.NodeID(wv[s+1])
+
+		so := e.so(cu, cv)
+		if so == 0 {
+			return 0
+		}
+		// P step: sem(next pair) * aggregated edge weights / SO.
+		wU, multU := e.g.InEdgeAggregate(cu, nu)
+		wV, multV := e.g.InEdgeAggregate(cv, nv)
+		pStep := e.sem.Sim(nu, nv) * wU * wV / so
+		// Q step: the uniform proposal picks each in-slot equally, so
+		// the probability of the chosen nodes is mult/|I|.
+		qStep := float64(multU) * float64(multV) /
+			(float64(e.g.InDegree(cu)) * float64(e.g.InDegree(cv)))
+
+		simW *= pStep / qStep * e.c
+		if e.theta > 0 && simW <= e.theta {
+			// Definition 4.5: cap the contribution at the first step
+			// the partial product drops to <= theta.
+			return simW
+		}
+	}
+	return simW
+}
+
+// TopK returns the k nodes most similar to u (excluding u) in descending
+// score order, omitting zero scores — the paper's top-k similarity search
+// workload.
+func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
+	n := e.g.NumNodes()
+	h := rank.NewTopK(k)
+	for v := 0; v < n; v++ {
+		if hin.NodeID(v) == u {
+			continue
+		}
+		if s := e.Query(u, hin.NodeID(v)); s > 0 {
+			h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
+		}
+	}
+	return h.Sorted()
+}
+
+// TopKSemBounded is TopK accelerated by Proposition 2.5 (sim(u,v) <=
+// sem(u,v)): candidates are scanned in descending semantic-similarity
+// order, and the scan stops as soon as the heap holds k results whose
+// k-th score is at least the next candidate's semantic bound — no later
+// candidate can displace anything. Results are identical to TopK; only
+// the number of walk-coupling evaluations shrinks.
+func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
+	n := e.g.NumNodes()
+	type cand struct {
+		node hin.NodeID
+		sem  float64
+	}
+	cands := make([]cand, 0, n-1)
+	for v := 0; v < n; v++ {
+		if hin.NodeID(v) == u {
+			continue
+		}
+		cands = append(cands, cand{hin.NodeID(v), e.sem.Sim(u, hin.NodeID(v))})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sem != cands[j].sem {
+			return cands[i].sem > cands[j].sem
+		}
+		return cands[i].node < cands[j].node
+	})
+	h := rank.NewTopK(k)
+	for _, c := range cands {
+		if h.Full() {
+			if kth, ok := h.Min(); ok && c.sem <= kth.Score {
+				break // Prop 2.5: sim <= sem <= current k-th best
+			}
+		}
+		if s := e.Query(u, c.node); s > 0 {
+			h.Push(rank.Scored{Node: c.node, Score: s})
+		}
+	}
+	return h.Sorted()
+}

@@ -1,0 +1,62 @@
+package mc
+
+import (
+	"semsim/internal/hin"
+	"semsim/internal/rank"
+	"semsim/internal/walk"
+)
+
+// SingleSource estimates sim(u, v) for every v whose walks collide with
+// u's, using an inverted meeting index instead of probing all n
+// candidates — the single-source optimization the paper's Section 7
+// leaves as future work. The result contains only nodes with a nonzero
+// estimate, in ascending node order. Estimates are identical to calling
+// Query(u, v) per candidate (the meeting detection is the same; only the
+// enumeration changes).
+func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scored {
+	nw := float64(e.ix.NumWalks())
+	var out []rank.Scored
+	var cur hin.NodeID = -1
+	var total float64
+	flush := func() {
+		if cur < 0 {
+			return
+		}
+		semUV := e.sem.Sim(u, cur)
+		if e.theta > 0 && semUV <= e.theta {
+			cur = -1
+			total = 0
+			return
+		}
+		score := semUV * total / nw
+		if score > 1 {
+			score = 1
+		}
+		if score > 0 {
+			out = append(out, rank.Scored{Node: cur, Score: score})
+		}
+		cur = -1
+		total = 0
+	}
+	for _, col := range meet.Collisions(u) {
+		if col.Other != cur {
+			flush()
+			cur = col.Other
+		}
+		total += e.walkScore(u, col.Other, int(col.Walk), col.Tau)
+	}
+	flush()
+	return out
+}
+
+// TopKWithIndex is TopK over the single-source enumeration: only nodes
+// whose walks actually meet u's are scored.
+func (e *Estimator) TopKWithIndex(u hin.NodeID, k int, meet *walk.MeetIndex) []rank.Scored {
+	h := rank.NewTopK(k)
+	for _, s := range e.SingleSource(u, meet) {
+		if s.Node != u {
+			h.Push(s)
+		}
+	}
+	return h.Sorted()
+}

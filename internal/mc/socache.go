@@ -1,0 +1,87 @@
+package mc
+
+import (
+	"semsim/internal/hin"
+	"semsim/internal/pairgraph"
+	"semsim/internal/semantic"
+)
+
+// SOCache memoizes the O(d^2) SARW normalization SO(a,b) for node pairs
+// whose semantic similarity reaches a cutoff, following the paper's SLING
+// adaptation ("storing probabilities only for node-pairs with semantic
+// similarity scores >= 0.1", Section 5.2). Pairs below the cutoff are
+// recomputed on every query, bounding memory to the semantically close
+// pairs that coupled walks actually traverse.
+//
+// The cache fills lazily and is not safe for concurrent use.
+type SOCache struct {
+	g      *hin.Graph
+	sem    semantic.Measure
+	cutoff float64
+	vals   map[uint64]float64
+	misses int64
+	hits   int64
+}
+
+// DefaultSOCutoff is the paper's SLING storage threshold.
+const DefaultSOCutoff = 0.1
+
+// NewSOCache creates an empty cache. cutoff <= 0 uses DefaultSOCutoff.
+func NewSOCache(g *hin.Graph, sem semantic.Measure, cutoff float64) *SOCache {
+	if cutoff <= 0 {
+		cutoff = DefaultSOCutoff
+	}
+	return &SOCache{g: g, sem: sem, cutoff: cutoff, vals: make(map[uint64]float64)}
+}
+
+func key(a, b hin.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// SO returns the normalization for (a,b), caching it when the pair's
+// semantic similarity reaches the cutoff. The pair is canonicalized so
+// results are bit-identical regardless of argument order.
+func (c *SOCache) SO(a, b hin.NodeID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	k := key(a, b)
+	if v, ok := c.vals[k]; ok {
+		c.hits++
+		return v
+	}
+	c.misses++
+	v := pairgraph.SO(c.g, c.sem, a, b)
+	if c.sem.Sim(a, b) >= c.cutoff {
+		c.vals[k] = v
+	}
+	return v
+}
+
+// Precompute eagerly fills the cache for every pair with sem >= cutoff —
+// the offline SLING index build. It is O(n^2) semantic probes plus O(d^2)
+// per stored pair.
+func (c *SOCache) Precompute() {
+	n := c.g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			a, b := hin.NodeID(u), hin.NodeID(v)
+			if c.sem.Sim(a, b) >= c.cutoff {
+				c.vals[key(a, b)] = pairgraph.SO(c.g, c.sem, a, b)
+			}
+		}
+	}
+}
+
+// Len reports how many pairs are stored.
+func (c *SOCache) Len() int { return len(c.vals) }
+
+// MemoryBytes estimates cache storage (16 bytes per entry plus map
+// overhead approximated at 2x).
+func (c *SOCache) MemoryBytes() int64 { return int64(len(c.vals)) * 32 }
+
+// Stats reports hit/miss counters.
+func (c *SOCache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,92 @@
+package paperexample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semsim/internal/semantic"
+)
+
+func TestBuildShape(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	g := net.Graph
+	if g.NumNodes() != 17 {
+		t.Fatalf("nodes = %d, want 17", g.NumNodes())
+	}
+	// Each author has exactly 4 in-neighbors (co-author, Author category,
+	// field, country) except Paul (3 co-authors + category).
+	for _, name := range []string{"Aditi", "Bo", "John"} {
+		if got := g.InDegree(g.MustNode(name)); got != 4 {
+			t.Errorf("InDegree(%s) = %d, want 4", name, got)
+		}
+	}
+	if got := g.InDegree(g.MustNode("Paul")); got != 4 {
+		t.Errorf("InDegree(Paul) = %d, want 4 (3 co-authors + category)", got)
+	}
+	// Co-author weights are 2.
+	paul := g.MustNode("Paul")
+	w, mult := g.InEdgeAggregate(g.MustNode("Aditi"), paul)
+	if w != 2 || mult != 1 {
+		t.Errorf("W(Paul, Aditi) = %v x%d, want 2 x1", w, mult)
+	}
+}
+
+func TestPublishedLinValues(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	g := net.Graph
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Bo", "Aditi", 0.01},
+		{"John", "Aditi", 0.01},
+		{"SpatialCrowdsourcing", "CrowdMining", 0.94},
+		{"WebDataMining", "CrowdMining", 0.37},
+	}
+	for _, tc := range cases {
+		got := net.Lin.Sim(g.MustNode(tc.a), g.MustNode(tc.b))
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Lin(%s,%s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMeasureAdmissible(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := semantic.Validate(net.Lin, net.Graph.NumNodes(), 500, rng); err != nil {
+		t.Errorf("Lin with overrides violates constraints: %v", err)
+	}
+}
+
+func TestCrowdMiningHasTwoHypernyms(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	g := net.Graph
+	cm := g.MustNode("CrowdMining")
+	in := g.InNeighbors(cm)
+	// In the reversed-surfing orientation CrowdMining's in-neighbors are
+	// its two hypernyms, Crowdsourcing and DataMining.
+	if len(in) != 2 {
+		t.Fatalf("InNeighbors(CrowdMining) = %d, want 2", len(in))
+	}
+	names := map[string]bool{}
+	for _, v := range in {
+		names[g.NodeName(v)] = true
+	}
+	if !names["Crowdsourcing"] || !names["DataMining"] {
+		t.Errorf("CrowdMining hypernyms = %v", names)
+	}
+}

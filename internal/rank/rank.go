@@ -1,0 +1,86 @@
+// Package rank provides the scored-node type and bounded top-k accumulator
+// shared by every similarity measure's top-k search (the workload of the
+// paper's link-prediction and entity-resolution experiments).
+package rank
+
+import (
+	"container/heap"
+	"sort"
+
+	"semsim/internal/hin"
+)
+
+// Scored pairs a node with a similarity score.
+type Scored struct {
+	Node  hin.NodeID
+	Score float64
+}
+
+// TopK accumulates the k highest-scoring entries seen. The zero value is
+// unusable; call NewTopK.
+type TopK struct {
+	k int
+	h minHeap
+}
+
+// NewTopK returns an accumulator for the k best entries. k <= 0 keeps
+// everything.
+func NewTopK(k int) *TopK { return &TopK{k: k} }
+
+// Push offers an entry.
+func (t *TopK) Push(s Scored) {
+	if t.k > 0 && len(t.h) == t.k {
+		if s.Score <= t.h[0].Score {
+			return
+		}
+		t.h[0] = s
+		heap.Fix(&t.h, 0)
+		return
+	}
+	heap.Push(&t.h, s)
+}
+
+// Len reports how many entries are held.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Min returns the lowest-scoring held entry (the k-th best when the
+// accumulator is full); ok is false when empty.
+func (t *TopK) Min() (s Scored, ok bool) {
+	if len(t.h) == 0 {
+		return Scored{}, false
+	}
+	return t.h[0], true
+}
+
+// Full reports whether k entries are held (only meaningful for k > 0).
+func (t *TopK) Full() bool { return t.k > 0 && len(t.h) >= t.k }
+
+// Sorted drains the accumulator, returning entries by descending score
+// (ties broken by ascending node id for determinism). The accumulator is
+// empty afterwards.
+func (t *TopK) Sorted() []Scored {
+	out := make([]Scored, len(t.h))
+	copy(out, t.h)
+	t.h = nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+type minHeap []Scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

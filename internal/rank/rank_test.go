@@ -1,0 +1,116 @@
+package rank
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"semsim/internal/hin"
+)
+
+func TestTopKKeepsBest(t *testing.T) {
+	tk := NewTopK(3)
+	for i, s := range []float64{0.1, 0.9, 0.5, 0.7, 0.2, 0.8} {
+		tk.Push(Scored{Node: hin.NodeID(i), Score: s})
+	}
+	got := tk.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	want := []float64{0.9, 0.8, 0.7}
+	for i := range want {
+		if got[i].Score != want[i] {
+			t.Fatalf("Sorted() = %v, want scores %v", got, want)
+		}
+	}
+	if tk.Len() != 0 {
+		t.Error("Sorted should drain the accumulator")
+	}
+}
+
+func TestTopKUnbounded(t *testing.T) {
+	tk := NewTopK(0)
+	for i := 0; i < 10; i++ {
+		tk.Push(Scored{Node: hin.NodeID(i), Score: float64(i)})
+	}
+	if got := tk.Sorted(); len(got) != 10 || got[0].Score != 9 {
+		t.Fatalf("unbounded TopK = %v", got)
+	}
+}
+
+func TestTopKTieBreakByNode(t *testing.T) {
+	tk := NewTopK(4)
+	for _, n := range []hin.NodeID{7, 3, 9, 1} {
+		tk.Push(Scored{Node: n, Score: 0.5})
+	}
+	got := tk.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i].Node < got[i-1].Node {
+			t.Fatalf("ties not broken by node id: %v", got)
+		}
+	}
+}
+
+func TestTopKAgainstSort(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(10)
+		all := make([]Scored, n)
+		tk := NewTopK(k)
+		for i := range all {
+			all[i] = Scored{Node: hin.NodeID(i), Score: rng.Float64()}
+			tk.Push(all[i])
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+		got := tk.Sorted()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i := range got {
+			if got[i].Score != all[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinAndFull(t *testing.T) {
+	tk := NewTopK(2)
+	if _, ok := tk.Min(); ok {
+		t.Error("Min on empty should report not ok")
+	}
+	if tk.Full() {
+		t.Error("empty accumulator reported full")
+	}
+	tk.Push(Scored{Node: 1, Score: 0.9})
+	tk.Push(Scored{Node: 2, Score: 0.4})
+	if !tk.Full() {
+		t.Error("accumulator with k entries should be full")
+	}
+	min, ok := tk.Min()
+	if !ok || min.Score != 0.4 {
+		t.Errorf("Min = %v, %v; want 0.4", min, ok)
+	}
+	// Pushing a better entry evicts the min.
+	tk.Push(Scored{Node: 3, Score: 0.6})
+	min, _ = tk.Min()
+	if min.Score != 0.6 {
+		t.Errorf("Min after eviction = %v, want 0.6", min.Score)
+	}
+	// Unbounded accumulator never reports full.
+	un := NewTopK(0)
+	un.Push(Scored{Node: 1, Score: 1})
+	if un.Full() {
+		t.Error("unbounded accumulator reported full")
+	}
+}

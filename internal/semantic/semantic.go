@@ -1,0 +1,205 @@
+// Package semantic defines the pluggable semantic-similarity interface of
+// SemSim and the measures used in the paper's experiments.
+//
+// SemSim is modular: any function sem(u,v) can be injected into the
+// computation as long as it satisfies three constraints (Section 2.2):
+//
+//  1. Symmetry:                sem(u,v) = sem(v,u)
+//  2. Maximum self similarity: sem(u,u) = 1
+//  3. Fixed value range:       sem(u,v) in (0,1]
+//
+// The package provides the Lin information-content measure the paper uses
+// in all experiments, plus Resnik, Wu–Palmer and Rada path-length
+// alternatives, a Uniform measure that degenerates SemSim to (weighted)
+// SimRank, and a Validate helper that property-checks the constraints.
+package semantic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semsim/internal/hin"
+	"semsim/internal/taxonomy"
+)
+
+// Measure is a semantic similarity function over HIN nodes. Sim must be
+// O(1) per query (possibly after preprocessing): the paper's complexity
+// statements assume constant-time semantic lookups without materializing
+// the n x n score matrix.
+type Measure interface {
+	// Sim returns sem(u,v).
+	Sim(u, v hin.NodeID) float64
+	// Name identifies the measure in reports.
+	Name() string
+}
+
+// Epsilon is the lower bound used when normalizing scores into (0,1]
+// (constraint 3 permits normalization into [0+eps, 1]).
+const Epsilon = 1e-4
+
+// clamp forces s into (0,1] using Epsilon as the floor.
+func clamp(s float64) float64 {
+	if s < Epsilon {
+		return Epsilon
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Lin is the information-theoretic measure of Lin (ICML'98) over a concept
+// taxonomy:
+//
+//	Lin(u,v) = 2*IC(LCA(u,v)) / (IC(u)+IC(v))
+//
+// It satisfies the three SemSim constraints whenever IC values lie in
+// (0,1], which the taxonomy package guarantees.
+type Lin struct {
+	Tax *taxonomy.Taxonomy
+}
+
+// Sim implements Measure.
+func (l Lin) Sim(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	a := l.Tax.LCA(int32(u), int32(v))
+	s := 2 * l.Tax.IC(a) / (l.Tax.IC(int32(u)) + l.Tax.IC(int32(v)))
+	return clamp(s)
+}
+
+// Name implements Measure.
+func (l Lin) Name() string { return "Lin" }
+
+// Resnik scores a pair by the information content of its lowest common
+// ancestor, normalized by the maximum IC so the range is (0,1].
+type Resnik struct {
+	Tax *taxonomy.Taxonomy
+}
+
+// Sim implements Measure.
+func (r Resnik) Sim(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	a := r.Tax.LCA(int32(u), int32(v))
+	return clamp(r.Tax.IC(a))
+}
+
+// Name implements Measure.
+func (r Resnik) Name() string { return "Resnik" }
+
+// WuPalmer is the depth-based conceptual similarity
+// 2*depth(LCA)/(depth(u)+depth(v)), computed against the virtual root.
+type WuPalmer struct {
+	Tax *taxonomy.Taxonomy
+}
+
+// Sim implements Measure.
+func (w WuPalmer) Sim(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	a := w.Tax.LCA(int32(u), int32(v))
+	du := float64(w.Tax.Depth(int32(u)))
+	dv := float64(w.Tax.Depth(int32(v)))
+	if du+dv == 0 {
+		return Epsilon
+	}
+	return clamp(2 * float64(w.Tax.Depth(a)) / (du + dv))
+}
+
+// Name implements Measure.
+func (w WuPalmer) Name() string { return "WuPalmer" }
+
+// JiangConrath is the IC-distance measure of Jiang and Conrath: the
+// semantic distance IC(u)+IC(v)-2*IC(LCA) lies in [0,2) for ICs in (0,1],
+// and the similarity is 1 - dist/2, clamped into (0,1].
+type JiangConrath struct {
+	Tax *taxonomy.Taxonomy
+}
+
+// Sim implements Measure.
+func (j JiangConrath) Sim(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	a := j.Tax.LCA(int32(u), int32(v))
+	dist := j.Tax.IC(int32(u)) + j.Tax.IC(int32(v)) - 2*j.Tax.IC(a)
+	if dist < 0 {
+		dist = 0 // non-monotone IC overrides can invert the order
+	}
+	return clamp(1 - dist/2)
+}
+
+// Name implements Measure.
+func (j JiangConrath) Name() string { return "JiangConrath" }
+
+// Path is the edge-counting measure of Rada et al.: 1/(1+dist) where dist
+// is the shortest taxonomy path through the LCA.
+type Path struct {
+	Tax *taxonomy.Taxonomy
+}
+
+// Sim implements Measure.
+func (p Path) Sim(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	return clamp(1 / (1 + float64(p.Tax.PathLength(int32(u), int32(v)))))
+}
+
+// Name implements Measure.
+func (p Path) Name() string { return "Path" }
+
+// Uniform assigns sem(u,v) = 1 for every pair. Plugging Uniform into
+// SemSim with unit edge weights yields exactly SimRank, which the test
+// suite exploits as a differential oracle.
+type Uniform struct{}
+
+// Sim implements Measure.
+func (Uniform) Sim(u, v hin.NodeID) float64 { return 1 }
+
+// Name implements Measure.
+func (Uniform) Name() string { return "Uniform" }
+
+// Func adapts a plain function (plus a name) to the Measure interface.
+type Func struct {
+	F func(u, v hin.NodeID) float64
+	N string
+}
+
+// Sim implements Measure.
+func (f Func) Sim(u, v hin.NodeID) float64 { return f.F(u, v) }
+
+// Name implements Measure.
+func (f Func) Name() string { return f.N }
+
+// Validate property-checks the three SemSim admissibility constraints on
+// trials random node pairs from [0,n). It returns a descriptive error for
+// the first violated constraint, or nil if all sampled pairs pass.
+func Validate(m Measure, n int, trials int, rng *rand.Rand) error {
+	if n <= 0 {
+		return fmt.Errorf("semantic: validate needs n > 0, got %d", n)
+	}
+	for i := 0; i < trials; i++ {
+		u := hin.NodeID(rng.Intn(n))
+		v := hin.NodeID(rng.Intn(n))
+		suv := m.Sim(u, v)
+		svu := m.Sim(v, u)
+		if suv != svu {
+			return fmt.Errorf("semantic: %s violates symmetry: sem(%d,%d)=%v but sem(%d,%d)=%v",
+				m.Name(), u, v, suv, v, u, svu)
+		}
+		if suv <= 0 || suv > 1 {
+			return fmt.Errorf("semantic: %s violates range: sem(%d,%d)=%v not in (0,1]",
+				m.Name(), u, v, suv)
+		}
+		if self := m.Sim(u, u); self != 1 {
+			return fmt.Errorf("semantic: %s violates max self similarity: sem(%d,%d)=%v",
+				m.Name(), u, u, self)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package simmat provides the dense symmetric score matrix and
+// iteration-convergence bookkeeping shared by the iterative forms of
+// SimRank (package simrank) and SemSim (package core), and consumed by the
+// convergence experiment (Figure 3 of the paper).
+package simmat
+
+import (
+	"fmt"
+	"math"
+
+	"semsim/internal/hin"
+)
+
+// Matrix is a dense n x n similarity matrix. The iterative algorithms keep
+// it exactly symmetric with a unit diagonal.
+type Matrix struct {
+	n    int
+	vals []float64
+}
+
+// New returns an n x n zero matrix with a unit diagonal (the R_0 of both
+// SimRank's and SemSim's iterative forms, Eq. 2).
+func New(n int) *Matrix {
+	m := &Matrix{n: n, vals: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		m.vals[i*n+i] = 1
+	}
+	return m
+}
+
+// N reports the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the score of (u,v).
+func (m *Matrix) At(u, v hin.NodeID) float64 { return m.vals[int(u)*m.n+int(v)] }
+
+// Set assigns both (u,v) and (v,u), preserving symmetry.
+func (m *Matrix) Set(u, v hin.NodeID, s float64) {
+	m.vals[int(u)*m.n+int(v)] = s
+	m.vals[int(v)*m.n+int(u)] = s
+}
+
+// Row returns the row of u (aliased, do not modify).
+func (m *Matrix) Row(u hin.NodeID) []float64 { return m.vals[int(u)*m.n : (int(u)+1)*m.n] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, vals: make([]float64, len(m.vals))}
+	copy(c.vals, m.vals)
+	return c
+}
+
+// IterDelta summarizes how much scores moved between two consecutive
+// iterations; Figure 3 plots AvgRel and AvgAbs per iteration.
+type IterDelta struct {
+	Iteration int
+	AvgRel    float64 // mean of |new-old| / new over pairs with new > 0
+	AvgAbs    float64 // mean of |new-old| over all off-diagonal pairs
+	MaxAbs    float64
+}
+
+// Delta computes the movement from prev to next. Both matrices must have
+// equal dimension.
+func Delta(iteration int, prev, next *Matrix) IterDelta {
+	if prev.n != next.n {
+		panic(fmt.Sprintf("simmat: dimension mismatch %d vs %d", prev.n, next.n))
+	}
+	d := IterDelta{Iteration: iteration}
+	var relSum float64
+	var relCount, absCount int
+	for u := 0; u < next.n; u++ {
+		for v := 0; v < next.n; v++ {
+			if u == v {
+				continue
+			}
+			diff := math.Abs(next.vals[u*next.n+v] - prev.vals[u*prev.n+v])
+			d.AvgAbs += diff
+			absCount++
+			if diff > d.MaxAbs {
+				d.MaxAbs = diff
+			}
+			if nv := next.vals[u*next.n+v]; nv > 0 {
+				relSum += diff / nv
+				relCount++
+			}
+		}
+	}
+	if absCount > 0 {
+		d.AvgAbs /= float64(absCount)
+	}
+	if relCount > 0 {
+		d.AvgRel = relSum / float64(relCount)
+	}
+	return d
+}
+
+// Converged reports whether a delta is below tol in both averaged senses
+// (the paper's convergence criterion: average difference < 1e-3).
+func (d IterDelta) Converged(tol float64) bool {
+	return d.AvgRel < tol && d.AvgAbs < tol
+}

@@ -1,0 +1,86 @@
+package simmat
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/hin"
+)
+
+func TestNewHasUnitDiagonal(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := m.At(hin.NodeID(i), hin.NodeID(j)); got != want {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSetSymmetric(t *testing.T) {
+	m := New(3)
+	m.Set(0, 2, 0.7)
+	if m.At(0, 2) != 0.7 || m.At(2, 0) != 0.7 {
+		t.Fatal("Set not symmetric")
+	}
+	if got := m.Row(0)[2]; got != 0.7 {
+		t.Fatalf("Row view = %v, want 0.7", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 0.5)
+	c := m.Clone()
+	c.Set(0, 1, 0.9)
+	if m.At(0, 1) != 0.5 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if c.N() != 3 {
+		t.Fatalf("Clone N = %d", c.N())
+	}
+}
+
+func TestDelta(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	b.Set(0, 1, 0.4)
+	b.Set(1, 2, 0.2)
+	d := Delta(1, a, b)
+	if d.Iteration != 1 {
+		t.Errorf("Iteration = %d", d.Iteration)
+	}
+	// Off-diagonal pairs: 6 ordered; abs diffs: 0.4 x2, 0.2 x2, 0 x2.
+	if math.Abs(d.AvgAbs-(0.4+0.4+0.2+0.2)/6) > 1e-12 {
+		t.Errorf("AvgAbs = %v", d.AvgAbs)
+	}
+	if d.MaxAbs != 0.4 {
+		t.Errorf("MaxAbs = %v", d.MaxAbs)
+	}
+	// Rel diffs only over pairs with new > 0: |0.4|/0.4 = 1 (x2),
+	// |0.2|/0.2 = 1 (x2) -> avg 1.
+	if math.Abs(d.AvgRel-1) > 1e-12 {
+		t.Errorf("AvgRel = %v", d.AvgRel)
+	}
+	if d.Converged(1e-3) {
+		t.Error("Converged should be false")
+	}
+	same := Delta(2, b, b.Clone())
+	if !same.Converged(1e-9) {
+		t.Error("identical matrices should converge")
+	}
+}
+
+func TestDeltaDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Delta with mismatched dims did not panic")
+		}
+	}()
+	Delta(1, New(2), New(3))
+}

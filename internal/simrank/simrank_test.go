@@ -1,0 +1,408 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semsim/internal/hin"
+	"semsim/internal/walk"
+)
+
+// sharedParent: x -> a, x -> b. Then sim(a,b) = c exactly after one
+// iteration (their only in-neighbors are the identical node x).
+func sharedParent(t *testing.T) *hin.Graph {
+	t.Helper()
+	b := hin.NewBuilder()
+	x := b.AddNode("x", "t")
+	a := b.AddNode("a", "t")
+	c := b.AddNode("b", "t")
+	b.AddEdge(x, a, "e", 1)
+	b.AddEdge(x, c, "e", 1)
+	return b.MustBuild()
+}
+
+// univGraph is the classic Jeh–Widom example: Univ -> ProfA, ProfB;
+// ProfA -> StudentA; ProfB -> StudentB; StudentA -> Univ; StudentB -> ProfB.
+func univGraph(t *testing.T) *hin.Graph {
+	t.Helper()
+	b := hin.NewBuilder()
+	univ := b.AddNode("Univ", "org")
+	profA := b.AddNode("ProfA", "person")
+	profB := b.AddNode("ProfB", "person")
+	stA := b.AddNode("StudentA", "person")
+	stB := b.AddNode("StudentB", "person")
+	b.AddEdge(univ, profA, "employs", 1)
+	b.AddEdge(univ, profB, "employs", 1)
+	b.AddEdge(profA, stA, "advises", 1)
+	b.AddEdge(profB, stB, "advises", 1)
+	b.AddEdge(stA, univ, "attends", 1)
+	b.AddEdge(stB, profB, "attends", 1)
+	return b.MustBuild()
+}
+
+func randomGraph(seed int64, n, m int) *hin.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(name3(i), "t")
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(hin.NodeID(rng.Intn(n)), hin.NodeID(rng.Intn(n)), "e", 0.5+rng.Float64())
+	}
+	return b.MustBuild()
+}
+
+func name3(i int) string {
+	return string([]rune{rune('a' + i%26), rune('a' + (i/26)%26), rune('a' + (i/676)%26)})
+}
+
+func TestSharedParentExact(t *testing.T) {
+	g := sharedParent(t)
+	res, err := Iterative(g, IterOptions{C: 0.6, MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	a, bn := g.MustNode("a"), g.MustNode("b")
+	if got := res.Scores.At(a, bn); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("sim(a,b) = %v, want 0.6", got)
+	}
+	// x has no in-neighbors: similarity with anything is 0.
+	x := g.MustNode("x")
+	if got := res.Scores.At(x, a); got != 0 {
+		t.Errorf("sim(x,a) = %v, want 0", got)
+	}
+}
+
+func TestUnivExampleJehWidom(t *testing.T) {
+	g := univGraph(t)
+	res, err := Iterative(g, IterOptions{C: 0.8, MaxIterations: 50})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	// Published fixpoint values (Jeh & Widom 2002, Figure 1): 0.414 for
+	// the professors, 0.331 for the students.
+	profs := res.Scores.At(g.MustNode("ProfA"), g.MustNode("ProfB"))
+	if math.Abs(profs-0.414) > 0.005 {
+		t.Errorf("sim(ProfA,ProfB) = %v, want ~0.414", profs)
+	}
+	studs := res.Scores.At(g.MustNode("StudentA"), g.MustNode("StudentB"))
+	if math.Abs(studs-0.331) > 0.005 {
+		t.Errorf("sim(StudentA,StudentB) = %v, want ~0.331", studs)
+	}
+}
+
+func TestIterativeInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 12, 40)
+		res, err := Iterative(g, IterOptions{C: 0.7, MaxIterations: 6})
+		if err != nil {
+			return false
+		}
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			if res.Scores.At(hin.NodeID(u), hin.NodeID(u)) != 1 {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				s := res.Scores.At(hin.NodeID(u), hin.NodeID(v))
+				if s < 0 || s > 1 {
+					return false
+				}
+				if s != res.Scores.At(hin.NodeID(v), hin.NodeID(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeMonotoneAndBoundedDeltas(t *testing.T) {
+	g := randomGraph(3, 15, 60)
+	c := 0.6
+	res, err := Iterative(g, IterOptions{C: c, MaxIterations: 8})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	// Deltas bounded by c^{k+1} (Zheng et al., cited as the SimRank
+	// convergence rate in Prop 2.4).
+	for _, d := range res.Deltas {
+		bound := math.Pow(c, float64(d.Iteration)) + 1e-12
+		if d.MaxAbs > bound {
+			t.Errorf("iteration %d: max delta %v exceeds c^k = %v", d.Iteration, d.MaxAbs, bound)
+		}
+	}
+}
+
+func TestIterativeEarlyStop(t *testing.T) {
+	g := sharedParent(t)
+	res, err := Iterative(g, IterOptions{C: 0.6, MaxIterations: 50, Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	if len(res.Deltas) >= 50 {
+		t.Errorf("expected early stop, ran %d iterations", len(res.Deltas))
+	}
+}
+
+func TestIterativeOptionValidation(t *testing.T) {
+	g := sharedParent(t)
+	if _, err := Iterative(g, IterOptions{C: 1.2}); err == nil {
+		t.Error("want error for c > 1")
+	}
+	if _, err := Iterative(g, IterOptions{C: -0.1}); err == nil {
+		t.Error("want error for negative c")
+	}
+	if _, err := Iterative(g, IterOptions{MaxIterations: -3}); err == nil {
+		t.Error("want error for negative iterations")
+	}
+}
+
+func TestMCApproximatesIterative(t *testing.T) {
+	g := randomGraph(11, 14, 70)
+	iter, err := Iterative(g, IterOptions{C: 0.6, MaxIterations: 12})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	ix, err := walk.Build(g, walk.Options{NumWalks: 1500, Length: 12, Seed: 5})
+	if err != nil {
+		t.Fatalf("walk.Build: %v", err)
+	}
+	mc, err := NewMC(ix, 0.6)
+	if err != nil {
+		t.Fatalf("NewMC: %v", err)
+	}
+	var worst float64
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			got := mc.Query(hin.NodeID(u), hin.NodeID(v))
+			want := iter.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if d := math.Abs(got - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.08 {
+		t.Errorf("worst MC error %v > 0.08", worst)
+	}
+}
+
+func TestMCSelfAndValidation(t *testing.T) {
+	g := sharedParent(t)
+	ix, err := walk.Build(g, walk.Options{NumWalks: 10, Length: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("walk.Build: %v", err)
+	}
+	if _, err := NewMC(ix, 1.0); err == nil {
+		t.Error("want error for c = 1")
+	}
+	mc, err := NewMC(ix, 0.6)
+	if err != nil {
+		t.Fatalf("NewMC: %v", err)
+	}
+	if got := mc.Query(1, 1); got != 1 {
+		t.Errorf("Query(v,v) = %v, want 1", got)
+	}
+}
+
+func TestMCTopK(t *testing.T) {
+	g := randomGraph(21, 20, 90)
+	ix, err := walk.Build(g, walk.Options{NumWalks: 200, Length: 10, Seed: 2})
+	if err != nil {
+		t.Fatalf("walk.Build: %v", err)
+	}
+	mc, err := NewMC(ix, 0.6)
+	if err != nil {
+		t.Fatalf("NewMC: %v", err)
+	}
+	u := hin.NodeID(0)
+	top := mc.TopK(u, 5)
+	if len(top) > 5 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatalf("TopK not sorted: %v", top)
+		}
+	}
+	// Cross-check the winner against brute force.
+	if len(top) > 0 {
+		bestS := -1.0
+		for v := 0; v < g.NumNodes(); v++ {
+			if hin.NodeID(v) == u {
+				continue
+			}
+			if s := mc.Query(u, hin.NodeID(v)); s > bestS {
+				bestS = s
+			}
+		}
+		if math.Abs(top[0].Score-bestS) > 1e-12 {
+			t.Errorf("TopK best %v != brute force best %v", top[0].Score, bestS)
+		}
+	}
+}
+
+func TestPlusPlusEvidenceGating(t *testing.T) {
+	// a and b share no in-neighbors -> score must stay 0 even though
+	// their in-neighbors are similar.
+	b := hin.NewBuilder()
+	x := b.AddNode("x", "t")
+	y := b.AddNode("y", "t")
+	a := b.AddNode("a", "t")
+	c := b.AddNode("b", "t")
+	b.AddEdge(x, a, "e", 1)
+	b.AddEdge(y, c, "e", 1)
+	g := b.MustBuild()
+	res, err := PlusPlus(g, IterOptions{C: 0.8, MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("PlusPlus: %v", err)
+	}
+	if got := res.Scores.At(a, c); got != 0 {
+		t.Errorf("sim++(a,b) = %v, want 0 (no evidence)", got)
+	}
+	_, _ = x, y
+}
+
+func TestPlusPlusWeightSensitivity(t *testing.T) {
+	// Hub h points to a, b with strong weights and to a, z with weak
+	// mixed weights; a second, noisy hub breaks symmetry. The pair whose
+	// shared edges carry proportionally more weight must score higher.
+	b := hin.NewBuilder()
+	h := b.AddNode("h", "t")
+	noise := b.AddNode("noise", "t")
+	a := b.AddNode("a", "t")
+	bb := b.AddNode("b", "t")
+	z := b.AddNode("z", "t")
+	b.AddEdge(h, a, "e", 10)
+	b.AddEdge(h, bb, "e", 10)
+	b.AddEdge(h, z, "e", 10)
+	b.AddEdge(noise, z, "e", 30) // z's in-weights are dominated by noise
+	g := b.MustBuild()
+	res, err := PlusPlus(g, IterOptions{C: 0.8, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("PlusPlus: %v", err)
+	}
+	sAB := res.Scores.At(a, bb)
+	sAZ := res.Scores.At(a, z)
+	if sAB <= sAZ {
+		t.Errorf("sim++(a,b)=%v should exceed sim++(a,z)=%v", sAB, sAZ)
+	}
+}
+
+func TestPlusPlusInvariants(t *testing.T) {
+	g := randomGraph(31, 12, 50)
+	res, err := PlusPlus(g, IterOptions{C: 0.7, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("PlusPlus: %v", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			s := res.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if s < 0 || s > 1 {
+				t.Fatalf("sim++(%d,%d) = %v out of range", u, v, s)
+			}
+			if s != res.Scores.At(hin.NodeID(v), hin.NodeID(u)) {
+				t.Fatalf("sim++ not symmetric at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestCountCommon(t *testing.T) {
+	cases := []struct {
+		a, b []hin.NodeID
+		want int
+	}{
+		{nil, nil, 0},
+		{[]hin.NodeID{1, 2, 3}, []hin.NodeID{2, 3, 4}, 2},
+		{[]hin.NodeID{1, 1, 2}, []hin.NodeID{1, 1, 1}, 1}, // duplicates counted once
+		{[]hin.NodeID{5}, []hin.NodeID{5}, 1},
+		{[]hin.NodeID{1, 3}, []hin.NodeID{2, 4}, 0},
+	}
+	for _, tc := range cases {
+		if got := countCommon(tc.a, tc.b); got != tc.want {
+			t.Errorf("countCommon(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPRankLambdaOneEqualsSimRank(t *testing.T) {
+	g := randomGraph(41, 12, 45)
+	pr, err := PRank(g, PRankOptions{IterOptions: IterOptions{C: 0.6, MaxIterations: 6}, Lambda: 1})
+	if err != nil {
+		t.Fatalf("PRank: %v", err)
+	}
+	sr, err := Iterative(g, IterOptions{C: 0.6, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			a := pr.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			b := sr.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("(%d,%d): PRank(lambda=1) %v != SimRank %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestPRankSeesOutLinks(t *testing.T) {
+	// u and v point at the same target but have no in-neighbors: SimRank
+	// scores 0, P-Rank (lambda < 1) sees the shared out-neighbor.
+	b := hin.NewBuilder()
+	u := b.AddNode("u", "t")
+	v := b.AddNode("v", "t")
+	x := b.AddNode("x", "t")
+	b.AddEdge(u, x, "e", 1)
+	b.AddEdge(v, x, "e", 1)
+	g := b.MustBuild()
+	pr, err := PRank(g, PRankOptions{IterOptions: IterOptions{C: 0.8, MaxIterations: 5}})
+	if err != nil {
+		t.Fatalf("PRank: %v", err)
+	}
+	if got := pr.Scores.At(u, v); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("PRank(u,v) = %v, want (1-lambda)*c = 0.4", got)
+	}
+	sr, err := Iterative(g, IterOptions{C: 0.8, MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("Iterative: %v", err)
+	}
+	if got := sr.Scores.At(u, v); got != 0 {
+		t.Errorf("SimRank(u,v) = %v, want 0 (no in-links)", got)
+	}
+}
+
+func TestPRankValidation(t *testing.T) {
+	g := randomGraph(43, 5, 10)
+	if _, err := PRank(g, PRankOptions{Lambda: 1.5}); err == nil {
+		t.Error("want error for lambda > 1")
+	}
+	if _, err := PRank(g, PRankOptions{IterOptions: IterOptions{C: -1}}); err == nil {
+		t.Error("want error for bad c")
+	}
+}
+
+func TestPRankInvariants(t *testing.T) {
+	g := randomGraph(45, 10, 40)
+	pr, err := PRank(g, PRankOptions{IterOptions: IterOptions{C: 0.7, MaxIterations: 6}})
+	if err != nil {
+		t.Fatalf("PRank: %v", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if pr.Scores.At(hin.NodeID(u), hin.NodeID(u)) != 1 {
+			t.Fatal("diagonal not 1")
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			s := pr.Scores.At(hin.NodeID(u), hin.NodeID(v))
+			if s < 0 || s > 1 {
+				t.Fatalf("score %v out of range", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package taxonomy
+
+import "math"
+
+// computeIC fills t.ic with information-content values in (0,1].
+//
+// The base formula is the Seco intrinsic IC (Seco, Veale, Hayes, ECAI'04):
+//
+//	IC(v) = 1 - log(desc(v)+1) / log(N)
+//
+// where desc(v) counts proper descendants and N is the number of concepts.
+// Leaves get IC = 1 and the most general concepts approach 0; values are
+// clamped to [floor, 1] so that measures built on them (Lin, Resnik) stay
+// inside the (0,1] range SemSim requires.
+//
+// The paper extends Seco "to our setting" (the extension lives in its
+// technical report): concepts also have observed frequencies in the data,
+// such as the prevalence of a term in an author's papers. When frequencies
+// are supplied, we apply the same log-ratio shape to cumulative subtree
+// frequency mass:
+//
+//	ICfreq(v) = 1 - log(subtreeFreq(v)+1) / log(totalFreq+1)
+//
+// and average it with the intrinsic value. Both components are in [0,1], so
+// the blend is too; frequent concepts (wide subtrees or heavy mass) are less
+// informative, exactly the behaviour Example 1.1 relies on.
+func (t *Taxonomy) computeIC(floor float64, freq []float64) {
+	t.ic = make([]float64, t.n)
+	logN := math.Log(float64(t.n))
+	if logN <= 0 {
+		logN = 1
+	}
+	for v := 0; v < t.n; v++ {
+		t.ic[v] = 1 - math.Log(float64(t.descendants[v])+1)/logN
+	}
+
+	if freq != nil {
+		// Accumulate subtree frequency mass bottom-up, ordered by
+		// decreasing depth (a child is always deeper than its parent).
+		mass := make([]float64, t.n)
+		var total float64
+		for v, f := range freq {
+			if f < 0 {
+				f = 0
+			}
+			mass[v] = f
+			total += f
+		}
+		if total > 0 {
+			order := nodesByDepthDesc(t.depth)
+			for _, v := range order {
+				if p := t.parent[v]; p >= 0 {
+					mass[p] += mass[v]
+				}
+			}
+			logT := math.Log(total + 1)
+			if logT <= 0 {
+				logT = 1
+			}
+			for v := 0; v < t.n; v++ {
+				icf := 1 - math.Log(mass[v]+1)/logT
+				t.ic[v] = (t.ic[v] + icf) / 2
+			}
+		}
+	}
+
+	for v := 0; v < t.n; v++ {
+		if t.ic[v] < floor {
+			t.ic[v] = floor
+		}
+		if t.ic[v] > 1 {
+			t.ic[v] = 1
+		}
+	}
+	// The virtual root is maximally general by construction.
+	t.ic[t.root] = floor
+}
+
+// nodesByDepthDesc returns concept ids ordered by decreasing depth using a
+// counting sort (depths are small integers).
+func nodesByDepthDesc(depth []int32) []int32 {
+	var maxD int32
+	for _, d := range depth {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	buckets := make([][]int32, maxD+1)
+	for v, d := range depth {
+		buckets[d] = append(buckets[d], int32(v))
+	}
+	out := make([]int32, 0, len(depth))
+	for d := maxD; d >= 0; d-- {
+		out = append(out, buckets[d]...)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package taxonomy
+
+import "math/bits"
+
+// lcaIndex answers lowest-common-ancestor queries in O(1) after
+// O(n log n) preprocessing, via the classical reduction to range-minimum
+// over an Euler tour (the practical variant of the Harel–Tarjan result the
+// paper cites for constant-time Lin computations).
+type lcaIndex struct {
+	euler []int32 // concept at each tour position (length 2n-1)
+	depth []int32 // depth of euler[i]
+	first []int32 // first tour position of each concept
+	// sparse[k][i] = tour position of the minimum depth in
+	// euler[i : i+2^k].
+	sparse [][]int32
+}
+
+// buildLCA constructs the index for the tree given by parent/depth with
+// the given root. The tree must be connected (every node reaches root).
+func buildLCA(parent, depth []int32, root int32) lcaIndex {
+	n := len(parent)
+
+	// Children CSR for an iterative DFS.
+	childCount := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			childCount[p]++
+		}
+	}
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + childCount[v]
+	}
+	kids := make([]int32, n-1)
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			kids[cursor[p]] = int32(v)
+			cursor[p]++
+		}
+	}
+
+	idx := lcaIndex{
+		euler: make([]int32, 0, 2*n-1),
+		depth: make([]int32, 0, 2*n-1),
+		first: make([]int32, n),
+	}
+	for i := range idx.first {
+		idx.first[i] = -1
+	}
+
+	// Iterative Euler tour: push (node, nextChildIndex).
+	type frame struct {
+		v    int32
+		next int32
+	}
+	stack := []frame{{root, off[root]}}
+	visit := func(v int32) {
+		if idx.first[v] < 0 {
+			idx.first[v] = int32(len(idx.euler))
+		}
+		idx.euler = append(idx.euler, v)
+		idx.depth = append(idx.depth, depth[v])
+	}
+	visit(root)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < off[top.v+1] {
+			c := kids[top.next]
+			top.next++
+			visit(c)
+			stack = append(stack, frame{c, off[c]})
+		} else {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				visit(stack[len(stack)-1].v)
+			}
+		}
+	}
+
+	// Sparse table over tour positions.
+	m := len(idx.euler)
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // ceil(log2(m))+1 is enough
+	}
+	idx.sparse = make([][]int32, levels)
+	base := make([]int32, m)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	idx.sparse[0] = base
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		prev := idx.sparse[k-1]
+		row := make([]int32, m-span+1)
+		for i := range row {
+			a, b := prev[i], prev[i+span/2]
+			if idx.depth[b] < idx.depth[a] {
+				a = b
+			}
+			row[i] = a
+		}
+		idx.sparse[k] = row
+	}
+	return idx
+}
+
+// query returns the LCA of u and v.
+func (idx lcaIndex) query(u, v int32) int32 {
+	lo, hi := idx.first[u], idx.first[v]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	length := hi - lo + 1
+	k := bits.Len(uint(length)) - 1
+	a := idx.sparse[k][lo]
+	b := idx.sparse[k][hi-int32(1<<k)+1]
+	if idx.depth[b] < idx.depth[a] {
+		a = b
+	}
+	return idx.euler[a]
+}

@@ -1,0 +1,285 @@
+// Package taxonomy implements the ontological substrate of SemSim: a
+// concept taxonomy ("is-a" hierarchy) aligned with the HIN, information
+// content (IC) values computed with an extension of the Seco intrinsic
+// formula, and constant-time lowest-common-ancestor queries in the style of
+// Harel–Tarjan (Euler tour + sparse-table range-minimum), as referenced in
+// Section 5.2 of the paper.
+//
+// Every HIN node is a concept. Nodes that carry "is-a" out-edges take their
+// primary parent from the hierarchy; all remaining nodes (and hierarchy
+// roots) are attached to a single virtual root, so the taxonomy is always
+// one tree and LCA is total. Instance leaves (e.g. individual authors)
+// naturally receive IC = 1, matching Example 2.2 / Table 1 in the paper.
+package taxonomy
+
+import (
+	"fmt"
+	"math"
+
+	"semsim/internal/hin"
+)
+
+// DefaultISALabel is the edge label conventionally used for hypernym
+// relations in this repository's datasets.
+const DefaultISALabel = "is-a"
+
+// DefaultICFloor is the epsilon that keeps IC values inside (0,1], required
+// for Lin to satisfy the SemSim admissibility constraints (Section 2.2).
+const DefaultICFloor = 1e-3
+
+// Taxonomy is an immutable rooted tree over all nodes of a HIN plus one
+// virtual root, annotated with IC values and preprocessed for O(1) LCA.
+type Taxonomy struct {
+	n      int // concepts incl. virtual root; root id = n-1
+	root   int32
+	parent []int32 // parent[root] = -1
+	depth  []int32
+	ic     []float64
+
+	// descendants[v] = number of proper descendants of v in the tree.
+	descendants []int32
+
+	lca lcaIndex
+
+	// brokenCycles counts is-a links dropped during construction because
+	// they closed a cycle.
+	brokenCycles int
+}
+
+// Options configure taxonomy construction.
+type Options struct {
+	// ISALabels are the edge labels treated as hypernym relations.
+	// Default: {"is-a"}.
+	ISALabels []string
+	// ICFloor is the lower clamp for IC values. Default: DefaultICFloor.
+	ICFloor float64
+	// Frequency optionally supplies per-node occurrence counts; when
+	// non-nil (length = graph nodes) the IC formula blends intrinsic
+	// structure with observed frequency mass (see ic.go).
+	Frequency []float64
+}
+
+func (o *Options) fill() {
+	if len(o.ISALabels) == 0 {
+		o.ISALabels = []string{DefaultISALabel}
+	}
+	if o.ICFloor <= 0 {
+		o.ICFloor = DefaultICFloor
+	}
+}
+
+// FromGraph builds the taxonomy of g.
+func FromGraph(g *hin.Graph, opts Options) (*Taxonomy, error) {
+	opts.fill()
+	if opts.Frequency != nil && len(opts.Frequency) != g.NumNodes() {
+		return nil, fmt.Errorf("taxonomy: frequency has %d entries for %d nodes",
+			len(opts.Frequency), g.NumNodes())
+	}
+	isa := make(map[int32]bool, len(opts.ISALabels))
+	for _, l := range opts.ISALabels {
+		if id, ok := g.LabelID(l); ok {
+			isa[id] = true
+		}
+	}
+
+	nGraph := g.NumNodes()
+	n := nGraph + 1
+	root := int32(n - 1)
+	parent := make([]int32, n)
+	for v := 0; v < nGraph; v++ {
+		parent[v] = root
+		// Primary parent: the is-a out-neighbor with the largest edge
+		// weight, ties broken by smallest id, for determinism.
+		bestW := math.Inf(-1)
+		best := int32(-1)
+		nb := g.OutNeighbors(hin.NodeID(v))
+		ws := g.OutWeights(hin.NodeID(v))
+		ls := g.OutLabels(hin.NodeID(v))
+		for i := range nb {
+			if !isa[ls[i]] || int32(nb[i]) == int32(v) {
+				continue
+			}
+			if ws[i] > bestW || (ws[i] == bestW && int32(nb[i]) < best) {
+				bestW = ws[i]
+				best = int32(nb[i])
+			}
+		}
+		if best >= 0 {
+			parent[v] = best
+		}
+	}
+	parent[root] = -1
+
+	t := &Taxonomy{n: n, root: root, parent: parent}
+	t.breakCycles()
+	t.computeDepthsAndCounts()
+	t.computeIC(opts.ICFloor, opts.Frequency)
+	t.lca = buildLCA(t.parent, t.depth, t.root)
+	return t, nil
+}
+
+// FromParents builds a taxonomy directly from a parent array over nGraph
+// concepts (parent -1 or out-of-range attaches to the virtual root). It is
+// the construction used by tests and by datasets that carry an explicit
+// hierarchy.
+func FromParents(parents []int32, opts Options) (*Taxonomy, error) {
+	opts.fill()
+	nGraph := len(parents)
+	if opts.Frequency != nil && len(opts.Frequency) != nGraph {
+		return nil, fmt.Errorf("taxonomy: frequency has %d entries for %d nodes",
+			len(opts.Frequency), nGraph)
+	}
+	n := nGraph + 1
+	root := int32(n - 1)
+	parent := make([]int32, n)
+	for v, p := range parents {
+		if p < 0 || int(p) >= nGraph || p == int32(v) {
+			parent[v] = root
+		} else {
+			parent[v] = p
+		}
+	}
+	parent[root] = -1
+	t := &Taxonomy{n: n, root: root, parent: parent}
+	t.breakCycles()
+	t.computeDepthsAndCounts()
+	t.computeIC(opts.ICFloor, opts.Frequency)
+	t.lca = buildLCA(t.parent, t.depth, t.root)
+	return t, nil
+}
+
+// breakCycles reattaches to the root the first node of every parent cycle,
+// making the parent map a forest rooted at root.
+func (t *Taxonomy) breakCycles() {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on current path
+		black = 2 // done
+	)
+	state := make([]int8, t.n)
+	state[t.root] = black
+	for v := 0; v < t.n; v++ {
+		if state[v] != white {
+			continue
+		}
+		// Walk up the parent chain coloring gray; a gray hit is a cycle.
+		var path []int32
+		u := int32(v)
+		for state[u] == white {
+			state[u] = gray
+			path = append(path, u)
+			u = t.parent[u]
+		}
+		if state[u] == gray {
+			// u closes a cycle: cut it at u.
+			t.parent[u] = t.root
+			t.brokenCycles++
+		}
+		for _, p := range path {
+			state[p] = black
+		}
+	}
+}
+
+// computeDepthsAndCounts fills depth (root = 0) and descendant counts.
+func (t *Taxonomy) computeDepthsAndCounts() {
+	// Children CSR.
+	childCount := make([]int32, t.n)
+	for v := 0; v < t.n; v++ {
+		if p := t.parent[v]; p >= 0 {
+			childCount[p]++
+		}
+	}
+	off := make([]int32, t.n+1)
+	for v := 0; v < t.n; v++ {
+		off[v+1] = off[v] + childCount[v]
+	}
+	kids := make([]int32, t.n-1)
+	cursor := make([]int32, t.n)
+	copy(cursor, off[:t.n])
+	for v := 0; v < t.n; v++ {
+		if p := t.parent[v]; p >= 0 {
+			kids[cursor[p]] = int32(v)
+			cursor[p]++
+		}
+	}
+
+	t.depth = make([]int32, t.n)
+	order := make([]int32, 0, t.n) // BFS order from root
+	queue := []int32{t.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, c := range kids[off[v]:off[v+1]] {
+			t.depth[c] = t.depth[v] + 1
+			queue = append(queue, c)
+		}
+	}
+
+	t.descendants = make([]int32, t.n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if p := t.parent[v]; p >= 0 {
+			t.descendants[p] += t.descendants[v] + 1
+		}
+	}
+}
+
+// NumConcepts reports the number of concepts including the virtual root.
+func (t *Taxonomy) NumConcepts() int { return t.n }
+
+// Root returns the virtual root's concept id.
+func (t *Taxonomy) Root() int32 { return t.root }
+
+// Parent returns v's parent, or -1 for the root.
+func (t *Taxonomy) Parent(v int32) int32 { return t.parent[v] }
+
+// Depth returns the number of edges from the root to v.
+func (t *Taxonomy) Depth(v int32) int32 { return t.depth[v] }
+
+// Descendants returns the number of proper descendants of v.
+func (t *Taxonomy) Descendants(v int32) int32 { return t.descendants[v] }
+
+// BrokenCycles reports how many is-a links were cut to remove cycles.
+func (t *Taxonomy) BrokenCycles() int { return t.brokenCycles }
+
+// IC returns the information content of v, in (0,1].
+func (t *Taxonomy) IC(v int32) float64 { return t.ic[v] }
+
+// SetIC overrides the IC of a single concept; values are clamped into
+// (0,1]. It exists so that published IC tables (e.g. Table 1 of the paper)
+// can be reproduced exactly.
+func (t *Taxonomy) SetIC(v int32, val float64) {
+	if val <= 0 {
+		val = DefaultICFloor
+	}
+	if val > 1 {
+		val = 1
+	}
+	t.ic[v] = val
+}
+
+// LCA returns the lowest common ancestor of u and v in O(1).
+func (t *Taxonomy) LCA(u, v int32) int32 { return t.lca.query(u, v) }
+
+// PathLength returns the number of taxonomy edges on the shortest path
+// between u and v through their LCA (the Rada distance).
+func (t *Taxonomy) PathLength(u, v int32) int32 {
+	a := t.LCA(u, v)
+	return t.depth[u] + t.depth[v] - 2*t.depth[a]
+}
+
+// IsAncestor reports whether a is an ancestor of v (or equal to it).
+func (t *Taxonomy) IsAncestor(a, v int32) bool { return t.LCA(a, v) == a }
+
+// MaxDepth returns the deepest concept's depth.
+func (t *Taxonomy) MaxDepth() int32 {
+	var m int32
+	for _, d := range t.depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

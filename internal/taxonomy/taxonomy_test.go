@@ -1,0 +1,330 @@
+package taxonomy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semsim/internal/hin"
+)
+
+// chainParents builds parents for a path 0 <- 1 <- 2 ... (i's parent is i-1).
+func chainParents(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i - 1)
+	}
+	return p
+}
+
+// sampleTree builds the small CS-terms taxonomy of the paper's Figure 1:
+//
+//	root -> Field -> {Data Mining -> Web Data Mining, Crowdsourcing -> {Spatial Crowdsourcing, Crowd Mining}}
+//	root -> Author -> {Aditi, Bo, John, Paul}
+func sampleTree(t *testing.T) (*Taxonomy, map[string]int32) {
+	t.Helper()
+	names := []string{
+		"Field", "DataMining", "WebDataMining", "Crowdsourcing",
+		"SpatialCrowdsourcing", "CrowdMining", "Author", "Aditi", "Bo", "John", "Paul",
+	}
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		idx[n] = int32(i)
+	}
+	parents := make([]int32, len(names))
+	set := func(c, p string) { parents[idx[c]] = idx[p] }
+	parents[idx["Field"]] = -1
+	parents[idx["Author"]] = -1
+	set("DataMining", "Field")
+	set("WebDataMining", "DataMining")
+	set("Crowdsourcing", "Field")
+	set("SpatialCrowdsourcing", "Crowdsourcing")
+	set("CrowdMining", "Crowdsourcing")
+	set("Aditi", "Author")
+	set("Bo", "Author")
+	set("John", "Author")
+	set("Paul", "Author")
+	tax, err := FromParents(parents, Options{})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	return tax, idx
+}
+
+func TestDepthsAndDescendants(t *testing.T) {
+	tax, idx := sampleTree(t)
+	if got := tax.Depth(tax.Root()); got != 0 {
+		t.Errorf("root depth = %d", got)
+	}
+	if got := tax.Depth(idx["Field"]); got != 1 {
+		t.Errorf("Field depth = %d, want 1", got)
+	}
+	if got := tax.Depth(idx["CrowdMining"]); got != 3 {
+		t.Errorf("CrowdMining depth = %d, want 3", got)
+	}
+	if got := tax.Descendants(idx["Field"]); got != 5 {
+		t.Errorf("Field descendants = %d, want 5", got)
+	}
+	if got := tax.Descendants(idx["Aditi"]); got != 0 {
+		t.Errorf("Aditi descendants = %d, want 0", got)
+	}
+	if got := tax.Descendants(tax.Root()); got != int32(tax.NumConcepts()-1) {
+		t.Errorf("root descendants = %d, want %d", got, tax.NumConcepts()-1)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tax, idx := sampleTree(t)
+	cases := []struct {
+		a, b, want string
+	}{
+		{"SpatialCrowdsourcing", "CrowdMining", "Crowdsourcing"},
+		{"WebDataMining", "CrowdMining", "Field"},
+		{"Aditi", "Bo", "Author"},
+		{"Aditi", "Aditi", "Aditi"},
+		{"Crowdsourcing", "CrowdMining", "Crowdsourcing"}, // ancestor case
+	}
+	for _, tc := range cases {
+		if got := tax.LCA(idx[tc.a], idx[tc.b]); got != idx[tc.want] {
+			t.Errorf("LCA(%s,%s) = %d, want %s", tc.a, tc.b, got, tc.want)
+		}
+		// Symmetry.
+		if got := tax.LCA(idx[tc.b], idx[tc.a]); got != idx[tc.want] {
+			t.Errorf("LCA(%s,%s) = %d, want %s", tc.b, tc.a, got, tc.want)
+		}
+	}
+	// Cross-subtree LCA is the virtual root.
+	if got := tax.LCA(idx["Aditi"], idx["CrowdMining"]); got != tax.Root() {
+		t.Errorf("cross-subtree LCA = %d, want root %d", got, tax.Root())
+	}
+}
+
+func TestPathLengthAndIsAncestor(t *testing.T) {
+	tax, idx := sampleTree(t)
+	if got := tax.PathLength(idx["SpatialCrowdsourcing"], idx["CrowdMining"]); got != 2 {
+		t.Errorf("PathLength = %d, want 2", got)
+	}
+	if got := tax.PathLength(idx["Aditi"], idx["Aditi"]); got != 0 {
+		t.Errorf("PathLength self = %d, want 0", got)
+	}
+	if !tax.IsAncestor(idx["Field"], idx["CrowdMining"]) {
+		t.Error("Field should be ancestor of CrowdMining")
+	}
+	if tax.IsAncestor(idx["CrowdMining"], idx["Field"]) {
+		t.Error("CrowdMining is not an ancestor of Field")
+	}
+}
+
+func TestSecoICShape(t *testing.T) {
+	tax, idx := sampleTree(t)
+	// Leaves have IC 1; inner nodes strictly less; root at the floor.
+	for _, leaf := range []string{"Aditi", "Bo", "John", "Paul", "WebDataMining"} {
+		if got := tax.IC(idx[leaf]); got != 1 {
+			t.Errorf("IC(%s) = %v, want 1", leaf, got)
+		}
+	}
+	if ic := tax.IC(idx["Field"]); ic >= tax.IC(idx["DataMining"]) {
+		t.Errorf("IC(Field)=%v should be < IC(DataMining)=%v", ic, tax.IC(idx["DataMining"]))
+	}
+	if got := tax.IC(tax.Root()); got != DefaultICFloor {
+		t.Errorf("IC(root) = %v, want floor %v", got, DefaultICFloor)
+	}
+	for v := int32(0); v < int32(tax.NumConcepts()); v++ {
+		if ic := tax.IC(v); ic <= 0 || ic > 1 {
+			t.Fatalf("IC(%d) = %v out of (0,1]", v, ic)
+		}
+	}
+}
+
+func TestFrequencyBlendedIC(t *testing.T) {
+	parents := chainParents(4) // 0 <- 1 <- 2 <- 3
+	freq := []float64{0, 0, 10, 1000}
+	withFreq, err := FromParents(parents, Options{Frequency: freq})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	noFreq, err := FromParents(parents, Options{})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	// Node 3 is a leaf but extremely frequent: blended IC must drop
+	// below the intrinsic value of 1.
+	if withFreq.IC(3) >= noFreq.IC(3) {
+		t.Errorf("frequent leaf IC %v should be < intrinsic %v", withFreq.IC(3), noFreq.IC(3))
+	}
+	for v := int32(0); v < int32(withFreq.NumConcepts()); v++ {
+		if ic := withFreq.IC(v); ic <= 0 || ic > 1 {
+			t.Fatalf("blended IC(%d) = %v out of (0,1]", v, ic)
+		}
+	}
+}
+
+func TestFrequencyLengthMismatch(t *testing.T) {
+	if _, err := FromParents(chainParents(3), Options{Frequency: []float64{1}}); err == nil {
+		t.Fatal("want error on frequency length mismatch")
+	}
+}
+
+func TestNegativeFrequencyIgnored(t *testing.T) {
+	tax, err := FromParents(chainParents(3), Options{Frequency: []float64{-5, 1, 1}})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	for v := int32(0); v < int32(tax.NumConcepts()); v++ {
+		if ic := tax.IC(v); math.IsNaN(ic) || ic <= 0 || ic > 1 {
+			t.Fatalf("IC(%d) = %v invalid with negative frequency input", v, ic)
+		}
+	}
+}
+
+func TestSetIC(t *testing.T) {
+	tax, idx := sampleTree(t)
+	tax.SetIC(idx["Author"], 0.01)
+	if got := tax.IC(idx["Author"]); got != 0.01 {
+		t.Errorf("SetIC: got %v", got)
+	}
+	tax.SetIC(idx["Author"], -3)
+	if got := tax.IC(idx["Author"]); got != DefaultICFloor {
+		t.Errorf("SetIC clamp low: got %v", got)
+	}
+	tax.SetIC(idx["Author"], 9)
+	if got := tax.IC(idx["Author"]); got != 1 {
+		t.Errorf("SetIC clamp high: got %v", got)
+	}
+}
+
+func TestCycleBreaking(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 is a parent cycle; 3 hangs off 0.
+	parents := []int32{1, 2, 0, 0}
+	tax, err := FromParents(parents, Options{})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	if tax.BrokenCycles() != 1 {
+		t.Errorf("BrokenCycles = %d, want 1", tax.BrokenCycles())
+	}
+	// All depths must be finite and every node must reach the root.
+	for v := int32(0); v < int32(tax.NumConcepts()); v++ {
+		u := v
+		for steps := 0; u != tax.Root(); steps++ {
+			if steps > tax.NumConcepts() {
+				t.Fatalf("node %d does not reach root", v)
+			}
+			u = tax.Parent(u)
+		}
+	}
+	// LCA still total.
+	_ = tax.LCA(0, 3)
+}
+
+func TestSelfParentAttachesToRoot(t *testing.T) {
+	tax, err := FromParents([]int32{0, 0}, Options{}) // node 0 points to itself
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	if tax.Parent(0) != tax.Root() {
+		t.Errorf("self-parent should attach to root, got %d", tax.Parent(0))
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	b := hin.NewBuilder()
+	field := b.AddNode("Field", "category")
+	dm := b.AddNode("DataMining", "category")
+	alice := b.AddNode("alice", "author")
+	bob := b.AddNode("bob", "author")
+	b.AddEdge(dm, field, "is-a", 1)
+	b.AddEdge(alice, dm, "is-a", 1)
+	b.AddUndirected(alice, bob, "coauthor", 2)
+	g := b.MustBuild()
+
+	tax, err := FromGraph(g, Options{})
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if got := tax.Parent(int32(dm)); got != int32(field) {
+		t.Errorf("Parent(DataMining) = %d, want Field", got)
+	}
+	if got := tax.Parent(int32(alice)); got != int32(dm) {
+		t.Errorf("Parent(alice) = %d, want DataMining", got)
+	}
+	// bob has no is-a edge: attaches to virtual root.
+	if got := tax.Parent(int32(bob)); got != tax.Root() {
+		t.Errorf("Parent(bob) = %d, want root", got)
+	}
+	// Leaf instance IC is 1 like the paper's author nodes.
+	if got := tax.IC(int32(alice)); got != 1 {
+		t.Errorf("IC(alice) = %v, want 1", got)
+	}
+}
+
+func TestFromGraphPrimaryParentByWeight(t *testing.T) {
+	b := hin.NewBuilder()
+	a := b.AddNode("a", "x")
+	p1 := b.AddNode("p1", "x")
+	p2 := b.AddNode("p2", "x")
+	b.AddEdge(a, p1, "is-a", 1)
+	b.AddEdge(a, p2, "is-a", 5) // heavier: primary
+	g := b.MustBuild()
+	tax, err := FromGraph(g, Options{})
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if got := tax.Parent(int32(a)); got != int32(p2) {
+		t.Errorf("primary parent = %d, want p2 (%d)", got, p2)
+	}
+}
+
+// TestLCAAgainstNaive cross-checks the sparse-table LCA against a naive
+// parent-chain walk on random trees.
+func TestLCAAgainstNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		parents := make([]int32, n)
+		for i := 1; i < n; i++ {
+			parents[i] = int32(rng.Intn(i)) // guaranteed acyclic
+		}
+		parents[0] = -1
+		tax, err := FromParents(parents, Options{})
+		if err != nil {
+			return false
+		}
+		naive := func(u, v int32) int32 {
+			seen := map[int32]bool{}
+			for x := u; x >= 0; x = tax.Parent(x) {
+				seen[x] = true
+			}
+			for x := v; ; x = tax.Parent(x) {
+				if seen[x] {
+					return x
+				}
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if tax.LCA(u, v) != naive(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleNodeTaxonomy(t *testing.T) {
+	tax, err := FromParents([]int32{-1}, Options{})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	if got := tax.LCA(0, 0); got != 0 {
+		t.Errorf("LCA(0,0) = %d", got)
+	}
+	if got := tax.LCA(0, tax.Root()); got != tax.Root() {
+		t.Errorf("LCA(0,root) = %d, want root", got)
+	}
+}

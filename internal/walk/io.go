@@ -1,0 +1,112 @@
+package walk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"semsim/internal/hin"
+)
+
+// Binary index format:
+//
+//	magic "SSWK" | version u32 | nodes u32 | numWalks u32 | length u32 |
+//	edges u32 (graph fingerprint) | walks []int32 LE
+//
+// The preprocessing phase of the paper is the dominant offline cost, so
+// persisting and reloading the sampled walks (instead of resampling on
+// every process start) is the natural "compact indexing" extension its
+// Section 7 sketches.
+
+const (
+	indexMagic   = "SSWK"
+	indexVersion = 1
+)
+
+// WriteTo serializes the index. The graph itself is not stored; Load
+// verifies the target graph's shape via a fingerprint.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if n, err := bw.WriteString(indexMagic); err != nil {
+		return written + int64(n), err
+	}
+	written += int64(len(indexMagic))
+	for _, v := range []uint32{indexVersion, uint32(ix.n), uint32(ix.nw), uint32(ix.t), uint32(ix.g.NumEdges())} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	buf := make([]byte, 4)
+	for _, step := range ix.walks {
+		binary.LittleEndian.PutUint32(buf, uint32(step))
+		n, err := bw.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Load deserializes an index previously written with WriteTo, attaching
+// it to g. It fails if the stored dimensions or the graph fingerprint do
+// not match g.
+func Load(r io.Reader, g *hin.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("walk: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("walk: bad magic %q", magic)
+	}
+	get := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	hdr := make([]uint32, 5)
+	for i := range hdr {
+		v, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("walk: reading header: %w", err)
+		}
+		hdr[i] = v
+	}
+	version, n, nw, t, edges := hdr[0], int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if version != indexVersion {
+		return nil, fmt.Errorf("walk: unsupported index version %d", version)
+	}
+	if n != g.NumNodes() || edges != g.NumEdges() {
+		return nil, fmt.Errorf("walk: index built for %d nodes / %d edges, graph has %d / %d",
+			n, edges, g.NumNodes(), g.NumEdges())
+	}
+	if nw < 1 || t < 1 {
+		return nil, fmt.Errorf("walk: corrupt header: numWalks=%d length=%d", nw, t)
+	}
+	ix := &Index{g: g, n: n, nw: nw, t: t, stride: t + 1}
+	ix.walks = make([]int32, n*nw*ix.stride)
+	buf := make([]byte, 4)
+	for i := range ix.walks {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("walk: reading walks: %w", err)
+		}
+		step := int32(binary.LittleEndian.Uint32(buf))
+		if step != Stop && (step < 0 || int(step) >= n) {
+			return nil, fmt.Errorf("walk: corrupt walk step %d at offset %d", step, i)
+		}
+		ix.walks[i] = step
+	}
+	return ix, nil
+}

@@ -1,0 +1,102 @@
+package walk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semsim/internal/hin"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := braid(t, 11)
+	ix, err := Build(g, Options{NumWalks: 7, Length: 9, Seed: 13})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := Load(&buf, g)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.NumWalks() != 7 || loaded.Length() != 9 {
+		t.Fatalf("dims = %d/%d", loaded.NumWalks(), loaded.Length())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for i := 0; i < 7; i++ {
+			a := ix.Walk(hin.NodeID(v), i)
+			b := loaded.Walk(hin.NodeID(v), i)
+			for s := range a {
+				if a[s] != b[s] {
+					t.Fatalf("walk (%d,%d) differs at step %d", v, i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongGraph(t *testing.T) {
+	g := braid(t, 11)
+	ix, err := Build(g, Options{NumWalks: 3, Length: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	other := braid(t, 12)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("Load accepted an index for a different graph")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	g := braid(t, 5)
+	ix, err := Build(g, Options{NumWalks: 2, Length: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	data := buf.Bytes()
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated walks", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		}},
+		{"out of range step", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// First walk step is at offset 4+5*4 = 24... position 24 is
+			// the start node; set it to a huge value.
+			c[24] = 0xEE
+			c[25] = 0xEE
+			c[26] = 0x00
+			c[27] = 0x00
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(tc.mut(data)), g); err == nil {
+				t.Fatal("Load accepted corrupt input")
+			}
+		})
+	}
+	if _, err := Load(strings.NewReader(""), g); err == nil {
+		t.Error("Load accepted empty input")
+	}
+}

@@ -1,0 +1,133 @@
+package walk
+
+import (
+	"sort"
+
+	"semsim/internal/hin"
+)
+
+// MeetIndex inverts a walk index by (step, node): for every position it
+// lists the (source, walk) slots whose walk visits that node at that
+// step. It turns the all-candidates scan of a single-source query into a
+// collision lookup — the single-source/top-k optimization direction the
+// paper's Section 7 leaves as future work (following Fogaras–Rácz's
+// fingerprint trick) — and doubles as the reverse map needed for
+// incremental index maintenance (which walks visit a changed node).
+type MeetIndex struct {
+	ix *Index
+	// For step s and node v, slots are at
+	// entries[offsets[s*n+v] : offsets[s*n+v+1]].
+	offsets []int32
+	entries []Slot
+}
+
+// Slot identifies one stored walk.
+type Slot struct {
+	Source hin.NodeID
+	Walk   int32
+}
+
+// BuildMeetIndex inverts ix.
+func BuildMeetIndex(ix *Index) *MeetIndex {
+	n := ix.n
+	steps := ix.stride
+	counts := make([]int32, n*steps)
+	for v := 0; v < n; v++ {
+		for i := 0; i < ix.nw; i++ {
+			w := ix.Walk(hin.NodeID(v), i)
+			for s, node := range w {
+				if node == Stop {
+					break
+				}
+				counts[s*n+int(node)]++
+			}
+		}
+	}
+	m := &MeetIndex{ix: ix, offsets: make([]int32, n*steps+1)}
+	for i := 0; i < n*steps; i++ {
+		m.offsets[i+1] = m.offsets[i] + counts[i]
+	}
+	m.entries = make([]Slot, m.offsets[n*steps])
+	cursor := make([]int32, n*steps)
+	copy(cursor, m.offsets[:n*steps])
+	for v := 0; v < n; v++ {
+		for i := 0; i < ix.nw; i++ {
+			w := ix.Walk(hin.NodeID(v), i)
+			for s, node := range w {
+				if node == Stop {
+					break
+				}
+				cell := s*n + int(node)
+				m.entries[cursor[cell]] = Slot{Source: hin.NodeID(v), Walk: int32(i)}
+				cursor[cell]++
+			}
+		}
+	}
+	return m
+}
+
+// At returns the slots whose walk visits node at the given step (aliased,
+// do not modify).
+func (m *MeetIndex) At(step int, node hin.NodeID) []Slot {
+	cell := step*m.ix.n + int(node)
+	return m.entries[m.offsets[cell]:m.offsets[cell+1]]
+}
+
+// Collision is a first-meeting event between the query's walks and
+// another source's walks.
+type Collision struct {
+	Other hin.NodeID
+	Walk  int32 // walk slot index (same for both sources by coupling)
+	Tau   int   // first-meeting step
+}
+
+// Collisions enumerates, for the query node u, every coupled first
+// meeting against every other source: for each walk slot i and the
+// earliest step s where some walk (v, i) visits the same node as walk
+// (u, i). The result is grouped by construction order; callers aggregate
+// per Other.
+//
+// Cost is proportional to the total number of co-location events of u's
+// walks rather than to n * n_w * t, which is what makes single-source
+// queries cheap on sparse meeting structures.
+func (m *MeetIndex) Collisions(u hin.NodeID) []Collision {
+	ix := m.ix
+	type key struct {
+		other hin.NodeID
+		walk  int32
+	}
+	first := make(map[key]int)
+	for i := 0; i < ix.nw; i++ {
+		w := ix.Walk(u, i)
+		for s, node := range w {
+			if node == Stop {
+				break
+			}
+			for _, slot := range m.At(s, hin.NodeID(node)) {
+				if slot.Walk != int32(i) || slot.Source == u {
+					continue // only the coupled walk counts
+				}
+				k := key{slot.Source, slot.Walk}
+				if old, ok := first[k]; !ok || s < old {
+					first[k] = s
+				}
+			}
+		}
+	}
+	out := make([]Collision, 0, len(first))
+	for k, s := range first {
+		out = append(out, Collision{Other: k.other, Walk: k.walk, Tau: s})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Other != out[b].Other {
+			return out[a].Other < out[b].Other
+		}
+		return out[a].Walk < out[b].Walk
+	})
+	return out
+}
+
+// MemoryBytes estimates the inverted index storage.
+func (m *MeetIndex) MemoryBytes() int64 {
+	return int64(len(m.offsets))*4 + int64(len(m.entries))*8
+}

@@ -1,0 +1,95 @@
+package walk
+
+import (
+	"testing"
+
+	"semsim/internal/hin"
+)
+
+func TestMeetIndexAt(t *testing.T) {
+	g := braid(t, 7)
+	ix, err := Build(g, Options{NumWalks: 5, Length: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := BuildMeetIndex(ix)
+	// Every walk position must be present in the inverted index.
+	for v := 0; v < g.NumNodes(); v++ {
+		for i := 0; i < 5; i++ {
+			w := ix.Walk(hin.NodeID(v), i)
+			for s, node := range w {
+				if node == Stop {
+					break
+				}
+				found := false
+				for _, slot := range m.At(s, hin.NodeID(node)) {
+					if slot.Source == hin.NodeID(v) && slot.Walk == int32(i) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("slot (%d,%d) missing at step %d node %d", v, i, s, node)
+				}
+			}
+		}
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+}
+
+// TestCollisionsMatchMeet: the inverted enumeration finds exactly the
+// pairs and taus the direct Meet probe finds.
+func TestCollisionsMatchMeet(t *testing.T) {
+	g := braid(t, 12)
+	ix, err := Build(g, Options{NumWalks: 20, Length: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := BuildMeetIndex(ix)
+	for u := 0; u < g.NumNodes(); u++ {
+		// Direct probe: tau per (other, walk).
+		want := map[[2]int32]int{}
+		for v := 0; v < g.NumNodes(); v++ {
+			if v == u {
+				continue
+			}
+			for i := 0; i < ix.NumWalks(); i++ {
+				if tau, ok := ix.Meet(hin.NodeID(u), hin.NodeID(v), i); ok {
+					want[[2]int32{int32(v), int32(i)}] = tau
+				}
+			}
+		}
+		got := map[[2]int32]int{}
+		for _, col := range m.Collisions(hin.NodeID(u)) {
+			got[[2]int32{int32(col.Other), col.Walk}] = col.Tau
+		}
+		if len(got) != len(want) {
+			t.Fatalf("u=%d: %d collisions, want %d", u, len(got), len(want))
+		}
+		for k, tau := range want {
+			if got[k] != tau {
+				t.Fatalf("u=%d other=%d walk=%d: tau %d, want %d", u, k[0], k[1], got[k], tau)
+			}
+		}
+	}
+}
+
+func TestCollisionsSorted(t *testing.T) {
+	g := braid(t, 9)
+	ix, err := Build(g, Options{NumWalks: 10, Length: 6, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := BuildMeetIndex(ix)
+	cols := m.Collisions(2)
+	for i := 1; i < len(cols); i++ {
+		if cols[i].Other < cols[i-1].Other {
+			t.Fatal("collisions not grouped by Other")
+		}
+		if cols[i].Other == cols[i-1].Other && cols[i].Walk <= cols[i-1].Walk {
+			t.Fatal("collisions not sorted by walk within group")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package walk
+
+import (
+	"fmt"
+
+	"semsim/internal/hin"
+)
+
+// Refresh adapts the index to an updated graph by resampling only the
+// invalidated walk suffixes — the dynamic-network maintenance the paper's
+// Section 7 leaves as future work (in the spirit of READS: random-walk
+// indexes are update-friendly because an edge change only invalidates
+// walks through the touched neighborhoods).
+//
+// changed lists the nodes whose in-neighborhood differs between the old
+// and new graph (hin.ChangedInNeighborhoods). A stored walk stays valid
+// up to (and including) its first visit to a changed node — the steps
+// that led there were drawn from unchanged distributions — and is
+// resampled from that position under the new graph. The refreshed index
+// is distributed identically to a fresh Build over the new graph.
+//
+// The node set must be unchanged; adding or removing nodes requires a
+// full rebuild.
+func (ix *Index) Refresh(newG *hin.Graph, changed []hin.NodeID, seed int64) (*Index, error) {
+	if newG.NumNodes() != ix.n {
+		return nil, fmt.Errorf("walk: refresh cannot change the node count (%d -> %d); rebuild",
+			ix.n, newG.NumNodes())
+	}
+	isChanged := make([]bool, ix.n)
+	for _, v := range changed {
+		if int(v) < 0 || int(v) >= ix.n {
+			return nil, fmt.Errorf("walk: changed node %d out of range", v)
+		}
+		isChanged[v] = true
+	}
+
+	out := &Index{
+		g:      newG,
+		n:      ix.n,
+		nw:     ix.nw,
+		t:      ix.t,
+		stride: ix.stride,
+		walks:  make([]int32, len(ix.walks)),
+	}
+	copy(out.walks, ix.walks)
+
+	resampled := 0
+	for v := 0; v < ix.n; v++ {
+		for i := 0; i < ix.nw; i++ {
+			w := out.slot(hin.NodeID(v), i)
+			// First position whose outgoing step is invalidated.
+			cut := -1
+			for s := 0; s <= ix.t; s++ {
+				if w[s] == Stop {
+					break
+				}
+				if isChanged[w[s]] {
+					cut = s
+					break
+				}
+			}
+			if cut < 0 {
+				continue
+			}
+			resampled++
+			rng := newRNG(seed, uint64(v)*1e9+uint64(i)+0x9e37)
+			cur := hin.NodeID(w[cut])
+			for s := cut + 1; s <= ix.t; s++ {
+				in := newG.InNeighbors(cur)
+				if len(in) == 0 {
+					for ; s <= ix.t; s++ {
+						w[s] = Stop
+					}
+					break
+				}
+				cur = in[rng.intn(len(in))]
+				w[s] = int32(cur)
+			}
+		}
+	}
+	_ = resampled
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"semsim/internal/hin"
+)
+
+// addChord returns braid(n) plus one extra edge x -> y, so y's
+// in-neighborhood changes.
+func addChord(t *testing.T, n int, x, y hin.NodeID) (*hin.Graph, *hin.Graph) {
+	t.Helper()
+	old := braid(t, n)
+	b := hin.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(old.NodeName(hin.NodeID(i)), "t")
+	}
+	old.Edges(func(e hin.Edge) bool {
+		b.AddEdge(e.From, e.To, e.Label, e.Weight)
+		return true
+	})
+	b.AddEdge(x, y, "chord", 1)
+	return old, b.MustBuild()
+}
+
+func TestRefreshValidWalks(t *testing.T) {
+	old, newG := addChord(t, 12, 3, 9)
+	ix, err := Build(old, Options{NumWalks: 30, Length: 10, Seed: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	changed, err := hin.ChangedInNeighborhoods(old, newG)
+	if err != nil {
+		t.Fatalf("ChangedInNeighborhoods: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != 9 {
+		t.Fatalf("changed = %v, want [9]", changed)
+	}
+	ref, err := ix.Refresh(newG, changed, 99)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	// Every refreshed walk must be a valid reversed walk in the NEW graph.
+	for v := 0; v < newG.NumNodes(); v++ {
+		for i := 0; i < 30; i++ {
+			w := ref.Walk(hin.NodeID(v), i)
+			if w[0] != int32(v) {
+				t.Fatalf("walk (%d,%d) does not start at its node", v, i)
+			}
+			for s := 1; s <= 10; s++ {
+				if w[s] == Stop {
+					break
+				}
+				_, mult := newG.InEdgeAggregate(hin.NodeID(w[s-1]), hin.NodeID(w[s]))
+				if mult == 0 {
+					t.Fatalf("walk (%d,%d) step %d: %d is not an in-neighbor of %d in the new graph",
+						v, i, s, w[s], w[s-1])
+				}
+			}
+		}
+	}
+	// Walks that never touch the changed node are preserved bit-for-bit.
+	preserved := 0
+	for v := 0; v < newG.NumNodes(); v++ {
+		for i := 0; i < 30; i++ {
+			oldW := ix.Walk(hin.NodeID(v), i)
+			touches := false
+			for _, s := range oldW {
+				if s == 9 {
+					touches = true
+					break
+				}
+				if s == Stop {
+					break
+				}
+			}
+			if touches {
+				continue
+			}
+			newW := ref.Walk(hin.NodeID(v), i)
+			for s := range oldW {
+				if oldW[s] != newW[s] {
+					t.Fatalf("untouched walk (%d,%d) changed at step %d", v, i, s)
+				}
+			}
+			preserved++
+		}
+	}
+	if preserved == 0 {
+		t.Fatal("no walks preserved; test graph degenerate")
+	}
+}
+
+// TestRefreshDistribution: estimates from a refreshed index agree with a
+// freshly built index on the new graph, within Monte-Carlo tolerance.
+func TestRefreshDistribution(t *testing.T) {
+	old, newG := addChord(t, 10, 2, 7)
+	ix, err := Build(old, Options{NumWalks: 2000, Length: 10, Seed: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	changed, err := hin.ChangedInNeighborhoods(old, newG)
+	if err != nil {
+		t.Fatalf("ChangedInNeighborhoods: %v", err)
+	}
+	ref, err := ix.Refresh(newG, changed, 5)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	fresh, err := Build(newG, Options{NumWalks: 2000, Length: 10, Seed: 6})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Compare meeting-probability-based scores (the SimRank estimand)
+	// between refreshed and fresh indexes.
+	estimate := func(index *Index, u, v hin.NodeID) float64 {
+		var sum float64
+		for i := 0; i < index.NumWalks(); i++ {
+			if tau, ok := index.Meet(u, v, i); ok {
+				sum += math.Pow(0.6, float64(tau))
+			}
+		}
+		return sum / float64(index.NumWalks())
+	}
+	for _, p := range [][2]hin.NodeID{{0, 1}, {3, 7}, {2, 9}, {4, 5}} {
+		a := estimate(ref, p[0], p[1])
+		b := estimate(fresh, p[0], p[1])
+		if math.Abs(a-b) > 0.03 {
+			t.Errorf("pair %v: refreshed %v vs fresh %v", p, a, b)
+		}
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	old, _ := addChord(t, 8, 1, 5)
+	ix, err := Build(old, Options{NumWalks: 3, Length: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	bigger := braid(t, 9)
+	if _, err := ix.Refresh(bigger, nil, 1); err == nil {
+		t.Error("Refresh accepted a different node count")
+	}
+	if _, err := ix.Refresh(old, []hin.NodeID{99}, 1); err == nil {
+		t.Error("Refresh accepted out-of-range changed node")
+	}
+}
+
+func TestChangedInNeighborhoods(t *testing.T) {
+	old, newG := addChord(t, 7, 2, 4)
+	changed, err := hin.ChangedInNeighborhoods(old, newG)
+	if err != nil {
+		t.Fatalf("ChangedInNeighborhoods: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != 4 {
+		t.Fatalf("changed = %v, want [4]", changed)
+	}
+	// Identical graphs: nothing changed.
+	same, err := hin.ChangedInNeighborhoods(old, old)
+	if err != nil || len(same) != 0 {
+		t.Fatalf("identical graphs: changed = %v, err = %v", same, err)
+	}
+	if _, err := hin.ChangedInNeighborhoods(old, braid(t, 8)); err == nil {
+		t.Error("want error for different node counts")
+	}
+}

@@ -1,0 +1,43 @@
+package walk
+
+import "math/bits"
+
+// rng is a small, allocation-free PCG-style generator. Every (seed, stream)
+// pair yields an independent deterministic sequence, which lets the index
+// builder sample walks in parallel without losing reproducibility.
+type rng struct {
+	state uint64
+}
+
+// newRNG derives an rng from a global seed and a stream id using two
+// splitmix64 scrambles, so nearby stream ids do not correlate.
+func newRNG(seed int64, stream uint64) rng {
+	s := splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	s = splitmix64(s ^ stream*0xbf58476d1ce4e5b9)
+	return rng{state: s}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next64 advances the generator.
+func (r *rng) next64() uint64 {
+	r.state = splitmix64(r.state)
+	return r.state
+}
+
+// intn returns a uniform integer in [0,n) using the multiply-shift method
+// (Lemire); n must be > 0.
+func (r *rng) intn(n int) int {
+	hi, _ := bits.Mul64(r.next64(), uint64(n))
+	return int(hi)
+}
+
+// float64 returns a uniform value in [0,1).
+func (r *rng) float64() float64 {
+	return float64(r.next64()>>11) / (1 << 53)
+}

@@ -1,0 +1,178 @@
+// Package walk builds and stores the precomputed reversed-random-walk index
+// underlying both SimRank's Monte-Carlo framework (Fogaras–Rácz) and
+// SemSim's importance-sampling framework (Section 4 of the paper).
+//
+// For every node the index holds n_w independent walks, each truncated at t
+// steps, drawn from the *uniform* distribution over in-neighbors — the
+// proposal distribution Q the paper chooses for importance sampling. The
+// index is the O(n * n_w * t) preprocessing artifact whose build time and
+// storage Section 5.2 reports.
+package walk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semsim/internal/hin"
+)
+
+// Stop marks a terminated walk position (the walk reached a node with no
+// in-neighbors before step t).
+const Stop int32 = -1
+
+// Index is an immutable walk index.
+type Index struct {
+	g      *hin.Graph
+	n      int
+	nw     int // walks per node
+	t      int // steps per walk (truncation point)
+	stride int // t+1 positions per walk, position 0 is the start node
+	walks  []int32
+}
+
+// Options configure Build.
+type Options struct {
+	// NumWalks is n_w, the number of walks per node (paper default 150).
+	NumWalks int
+	// Length is t, the truncation point (paper default 15).
+	Length int
+	// Seed makes the index deterministic.
+	Seed int64
+	// Parallel enables sharded building across CPUs; determinism is
+	// preserved because every (node, walk) pair has its own RNG stream.
+	Parallel bool
+}
+
+// DefaultNumWalks and DefaultLength are the paper's parameter settings
+// (Section 5.1: "a set of 150 random walks of length 15").
+const (
+	DefaultNumWalks = 150
+	DefaultLength   = 15
+)
+
+func (o *Options) fill() error {
+	if o.NumWalks == 0 {
+		o.NumWalks = DefaultNumWalks
+	}
+	if o.Length == 0 {
+		o.Length = DefaultLength
+	}
+	if o.NumWalks < 1 || o.Length < 1 {
+		return fmt.Errorf("walk: NumWalks (%d) and Length (%d) must be >= 1", o.NumWalks, o.Length)
+	}
+	return nil
+}
+
+// Build samples the index for g.
+func Build(g *hin.Graph, opts Options) (*Index, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	ix := &Index{
+		g:      g,
+		n:      n,
+		nw:     opts.NumWalks,
+		t:      opts.Length,
+		stride: opts.Length + 1,
+	}
+	ix.walks = make([]int32, n*ix.nw*ix.stride)
+
+	sample := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for i := 0; i < ix.nw; i++ {
+				rng := newRNG(opts.Seed, uint64(v)*1e9+uint64(i))
+				ix.sampleWalk(hin.NodeID(v), i, &rng)
+			}
+		}
+	}
+
+	if opts.Parallel && n > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				sample(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		sample(0, n)
+	}
+	return ix, nil
+}
+
+// sampleWalk draws one uniform reversed walk from v into slot i.
+func (ix *Index) sampleWalk(v hin.NodeID, i int, rng *rng) {
+	w := ix.slot(v, i)
+	w[0] = int32(v)
+	cur := v
+	for s := 1; s <= ix.t; s++ {
+		in := ix.g.InNeighbors(cur)
+		if len(in) == 0 {
+			for ; s <= ix.t; s++ {
+				w[s] = Stop
+			}
+			return
+		}
+		cur = in[rng.intn(len(in))]
+		w[s] = int32(cur)
+	}
+}
+
+func (ix *Index) slot(v hin.NodeID, i int) []int32 {
+	base := (int(v)*ix.nw + i) * ix.stride
+	return ix.walks[base : base+ix.stride]
+}
+
+// Graph returns the graph the index was built over.
+func (ix *Index) Graph() *hin.Graph { return ix.g }
+
+// NumWalks reports n_w.
+func (ix *Index) NumWalks() int { return ix.nw }
+
+// Length reports t.
+func (ix *Index) Length() int { return ix.t }
+
+// Walk returns the i-th walk from v: positions 0..t where position 0 is v
+// and Stop marks termination. The slice aliases internal storage.
+func (ix *Index) Walk(v hin.NodeID, i int) []int32 { return ix.slot(v, i) }
+
+// Meet returns the first-meeting offset tau of the i-th coupled walk from
+// u and v: the smallest offset where both walks are at the same node
+// (Section 4.1). ok is false if they never meet within t steps.
+//
+// Offset 0 meets only when u == v, matching c^0 = 1 and sim(u,u) = 1.
+func (ix *Index) Meet(u, v hin.NodeID, i int) (tau int, ok bool) {
+	wu := ix.slot(u, i)
+	wv := ix.slot(v, i)
+	for s := 0; s < ix.stride; s++ {
+		a, b := wu[s], wv[s]
+		if a == Stop || b == Stop {
+			return 0, false
+		}
+		if a == b {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// MemoryBytes estimates the index storage, reported by the preprocessing
+// experiment.
+func (ix *Index) MemoryBytes() int64 { return int64(len(ix.walks)) * 4 }

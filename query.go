@@ -1,0 +1,240 @@
+package semsim
+
+import (
+	"errors"
+	"io"
+
+	"semsim/internal/mc"
+	"semsim/internal/pairgraph"
+	"semsim/internal/rank"
+	"semsim/internal/simrank"
+	"semsim/internal/walk"
+)
+
+// errNoMeetIndex is returned by SingleSource when the index was built
+// without IndexOptions.MeetIndex.
+var errNoMeetIndex = errors.New("semsim: index built without MeetIndex; set IndexOptions.MeetIndex")
+
+// Scored pairs a node with a similarity score (top-k search results).
+type Scored = rank.Scored
+
+// IndexOptions configure BuildIndex: the precomputed walk index plus the
+// Monte-Carlo estimator of Algorithm 1.
+type IndexOptions struct {
+	// NumWalks is n_w, walks per node (paper default 150).
+	NumWalks int
+	// WalkLength is t, the truncation point (paper default 15).
+	WalkLength int
+	// C is the decay factor (paper default 0.6).
+	C float64
+	// Theta enables pruning when > 0 (paper default 0.05): semantically
+	// distant pairs score 0 and low-mass walks are capped, adding a
+	// one-sided error bounded by Theta.
+	Theta float64
+	// SLINGCutoff, when > 0, attaches the SLING-style cache that
+	// memoizes the O(d^2) per-step normalization for pairs with
+	// sem >= cutoff (paper uses 0.1). 0 disables the cache.
+	SLINGCutoff float64
+	// Seed makes the index deterministic.
+	Seed int64
+	// Parallel shards walk sampling across CPUs.
+	Parallel bool
+	// MeetIndex additionally builds the inverted (step, node) meeting
+	// index, enabling SingleSource queries and collision-driven TopK
+	// (cost: one extra pass over the walks plus ~2x walk storage).
+	MeetIndex bool
+}
+
+// Index answers single-pair and top-k SemSim queries in O(n_w * t * d^2)
+// average time (O(n_w * t) with the SLING cache), per Section 4.
+type Index struct {
+	walks *walk.Index
+	est   *mc.Estimator
+	srmc  *simrank.MC
+	cache *mc.SOCache
+	meet  *walk.MeetIndex
+
+	// Retained for BatchQuery's per-worker estimator construction.
+	sem     Measure
+	estOpts mc.Options
+}
+
+// BuildIndex samples the reversed-walk index for g and wires up the
+// importance-sampling estimator for sem.
+func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
+	if opts.C == 0 {
+		opts.C = 0.6
+	}
+	ix, err := walk.Build(g, walk.Options{
+		NumWalks: opts.NumWalks,
+		Length:   opts.WalkLength,
+		Seed:     opts.Seed,
+		Parallel: opts.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cache *mc.SOCache
+	if opts.SLINGCutoff > 0 {
+		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
+	}
+	est, err := mc.New(ix, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	srmc, err := simrank.NewMC(ix, opts.C)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache,
+		sem: sem, estOpts: mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache}}
+	if opts.MeetIndex {
+		idx.meet = walk.BuildMeetIndex(ix)
+	}
+	return idx, nil
+}
+
+// Query estimates the SemSim score of (u,v) in [0,1].
+func (ix *Index) Query(u, v NodeID) float64 { return ix.est.Query(u, v) }
+
+// TopK returns the k nodes most similar to u, descending. With a meet
+// index (IndexOptions.MeetIndex) only candidates whose walks collide with
+// u's are scored; otherwise all nodes are probed. The collision-driven
+// path wins when meetings are sparse (large graphs, short walks); on
+// small dense graphs the brute scan with theta pre-filtering — or
+// TopKSemBounded — is typically faster.
+func (ix *Index) TopK(u NodeID, k int) []Scored {
+	if ix.meet != nil {
+		return ix.est.TopKWithIndex(u, k, ix.meet)
+	}
+	return ix.est.TopK(u, k)
+}
+
+// SingleSource estimates sim(u, v) for every v whose walks meet u's
+// (ascending node order, zero scores omitted). Requires
+// IndexOptions.MeetIndex.
+func (ix *Index) SingleSource(u NodeID) ([]Scored, error) {
+	if ix.meet == nil {
+		return nil, errNoMeetIndex
+	}
+	return ix.est.SingleSource(u, ix.meet), nil
+}
+
+// TopKSemBounded is TopK accelerated by Prop 2.5 (sim <= sem): candidates
+// are scanned in descending semantic order with early termination.
+// Results are identical to the brute-force scan.
+func (ix *Index) TopKSemBounded(u NodeID, k int) []Scored {
+	return ix.est.TopKSemBounded(u, k)
+}
+
+// BatchQuery evaluates many pairs concurrently over this index's walks,
+// one private estimator (and SO cache) per worker. workers <= 0 uses
+// GOMAXPROCS. Results align positionally with pairs.
+func (ix *Index) BatchQuery(pairs [][2]NodeID, workers int) ([]float64, error) {
+	return mc.BatchQuery(ix.walks, ix.sem, ix.estOpts, pairs, workers)
+}
+
+// SimRankQuery estimates the plain SimRank score on the same walk index
+// (the Fogaras–Rácz estimator) — useful for side-by-side comparisons.
+func (ix *Index) SimRankQuery(u, v NodeID) float64 { return ix.srmc.Query(u, v) }
+
+// SaveWalks persists the precomputed walk index; LoadIndex restores it
+// without resampling (the dominant preprocessing cost).
+func (ix *Index) SaveWalks(w io.Writer) error {
+	_, err := ix.walks.WriteTo(w)
+	return err
+}
+
+// LoadIndex rebuilds an Index from walks previously saved with SaveWalks,
+// for the same graph. All other options behave as in BuildIndex (the
+// walk-sampling options are taken from the stored index).
+func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
+	if opts.C == 0 {
+		opts.C = 0.6
+	}
+	walks, err := walk.Load(r, g)
+	if err != nil {
+		return nil, err
+	}
+	var cache *mc.SOCache
+	if opts.SLINGCutoff > 0 {
+		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
+	}
+	est, err := mc.New(walks, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	srmc, err := simrank.NewMC(walks, opts.C)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{walks: walks, est: est, srmc: srmc, cache: cache,
+		sem: sem, estOpts: mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache}}
+	if opts.MeetIndex {
+		idx.meet = walk.BuildMeetIndex(walks)
+	}
+	return idx, nil
+}
+
+// MemoryBytes reports the walk-index storage plus the SLING cache and
+// meet index, the quantities of the paper's preprocessing report.
+func (ix *Index) MemoryBytes() int64 {
+	m := ix.walks.MemoryBytes()
+	if ix.cache != nil {
+		m += ix.cache.MemoryBytes()
+	}
+	if ix.meet != nil {
+		m += ix.meet.MemoryBytes()
+	}
+	return m
+}
+
+// ReducedOptions configure the G^2_theta reduction of Definition 3.4.
+type ReducedOptions = pairgraph.ReduceOptions
+
+// ReducedGraph is the materialized G^2_theta: only node pairs with
+// sem > theta, with omitted walks folded into bypass edges and a drain.
+// Scores of retained pairs equal full-G^2 SemSim scores (Theorem 3.5).
+type ReducedGraph struct {
+	red *pairgraph.Reduced
+}
+
+// BuildReduced materializes G^2_theta and solves it to its fixpoint.
+func BuildReduced(g *Graph, sem Measure, opts ReducedOptions) (*ReducedGraph, error) {
+	red, err := pairgraph.Reduce(g, sem, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := red.Solve(100, 1e-10); err != nil {
+		return nil, err
+	}
+	return &ReducedGraph{red: red}, nil
+}
+
+// Score returns s_theta(u,v): the exact SemSim score for retained pairs,
+// 0 for dropped ones.
+func (r *ReducedGraph) Score(u, v NodeID) float64 { return r.red.Score(u, v) }
+
+// Contains reports whether (u,v) was retained (sem > theta).
+func (r *ReducedGraph) Contains(u, v NodeID) bool { return r.red.Contains(u, v) }
+
+// NumPairs reports the retained canonical pair count.
+func (r *ReducedGraph) NumPairs() int { return r.red.NumPairs() }
+
+// ScoredPair is one similarity-join result.
+type ScoredPair = pairgraph.ScoredPair
+
+// SimilarityJoin finds every distinct pair with SemSim score >= minScore,
+// descending: Proposition 2.5 (sim <= sem) makes G^2_theta with
+// theta < minScore a complete index for the join. opts.Theta defaults to
+// minScore/2 when unset.
+func SimilarityJoin(g *Graph, sem Measure, minScore float64, opts ReducedOptions) ([]ScoredPair, error) {
+	if opts.Theta == 0 {
+		opts.Theta = minScore / 2
+	}
+	red, err := BuildReduced(g, sem, opts)
+	if err != nil {
+		return nil, err
+	}
+	return red.red.PairsAbove(minScore)
+}
