@@ -1,0 +1,40 @@
+# Build/test entry points. `make ci` is the full gate (see ci.sh);
+# individual tiers can be run on their own.
+
+GO ?= go
+
+.PHONY: all build test vet race fuzz-seed fuzz bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the fast correctness gate every change must keep green.
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier 2: the concurrency gate — the whole suite under the race
+# detector, including the stress tests that hammer one shared cached
+# Index from 8+ goroutines.
+race:
+	$(GO) test -race ./...
+
+# Runs the fuzz seed corpora (testdata/fuzz + f.Add seeds) as plain
+# tests — deterministic, CI-friendly.
+fuzz-seed:
+	$(GO) test ./internal/walk/ -run Fuzz -v
+
+# Open-ended fuzzing session (not part of ci; run locally).
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test ./internal/walk/ -fuzz FuzzLoadRoundTrip -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci:
+	./ci.sh

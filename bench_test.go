@@ -380,6 +380,80 @@ func BenchmarkBatchQueryParallel(b *testing.B) {
 	}
 }
 
+// --- Concurrency benchmarks ------------------------------------------
+//
+// The serial/parallel pairs below quantify the shared-cache concurrent
+// query engine: one cached Index serves all goroutines (RunParallel uses
+// GOMAXPROCS workers). Compare ns/op of BenchmarkQueryParallel against
+// BenchmarkQuerySerialBaseline for the throughput multiple.
+
+// queryIndex builds the cached index the concurrency benchmarks share.
+func queryIndex(b *testing.B) (*semsim.Index, int) {
+	b.Helper()
+	e := env(b)
+	return e.idx, e.d.Graph.NumNodes()
+}
+
+// BenchmarkQuerySerialBaseline is the single-goroutine reference for
+// BenchmarkQueryParallel, on the same cached index.
+func BenchmarkQuerySerialBaseline(b *testing.B) {
+	idx, n := queryIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n)
+		idx.Query(u, v)
+	}
+}
+
+// BenchmarkQueryParallel drives concurrent single-pair queries through
+// one shared Index and SLING cache. On a multi-core runner throughput
+// should scale with GOMAXPROCS (>= 2x the serial baseline) because the
+// hot path takes no locks beyond the cache's read-mostly stripes.
+func BenchmarkQueryParallel(b *testing.B) {
+	idx, n := queryIndex(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u, v := hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n)
+			idx.Query(u, v)
+			i++
+		}
+	})
+}
+
+// BenchmarkTopK10Parallel measures concurrent top-10 searches sharing
+// one index (each TopK additionally fans its candidate scan across the
+// internal pool).
+func BenchmarkTopK10Parallel(b *testing.B) {
+	idx, n := queryIndex(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			idx.TopK(hin.NodeID(i*7%n), 10)
+			i++
+		}
+	})
+}
+
+// BenchmarkBatchQuerySharedCache measures the reworked batch path: all
+// workers share the index's estimator and cache (contrast with
+// BenchmarkBatchQueryParallel, which reconstructs caches per call).
+func BenchmarkBatchQuerySharedCache(b *testing.B) {
+	idx, n := queryIndex(b)
+	pairs := make([][2]hin.NodeID, 512)
+	for i := range pairs {
+		pairs[i] = [2]hin.NodeID{hin.NodeID(i * 3 % n), hin.NodeID((i*11 + 2) % n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.BatchQuery(pairs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIndexRefresh measures incremental walk maintenance after a
 // single-node in-neighborhood change.
 func BenchmarkIndexRefresh(b *testing.B) {

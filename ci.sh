@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI gate for the semsim repository. Three tiers, all required:
+#
+#   1. build + vet + full test suite        (functional correctness)
+#   2. full test suite under -race          (concurrency correctness —
+#      the stress tests drive 8+ goroutines through one shared cached
+#      Index and assert bit-identical results vs serial runs)
+#   3. fuzz seed corpora as unit tests      (IO robustness regression)
+#
+# Usage: ./ci.sh   (or: make ci)
+set -eu
+
+echo "==> tier 1: build"
+go build ./...
+
+echo "==> tier 1: vet"
+go vet ./...
+
+echo "==> tier 1: tests"
+go test ./...
+
+echo "==> tier 2: race detector"
+go test -race ./...
+
+echo "==> tier 3: fuzz seed corpora"
+go test ./internal/walk/ -run Fuzz
+
+echo "==> ci: all tiers green"

@@ -1,80 +1,26 @@
 package mc
 
 import (
-	"runtime"
-	"sync"
-
 	"semsim/internal/hin"
 	"semsim/internal/semantic"
 	"semsim/internal/walk"
 )
 
 // BatchQuery evaluates many single-pair queries concurrently — the
-// parallelism extension of the paper's Section 7. The walk index is
-// shared read-only; each worker owns a private estimator (and, when
-// opts.Cache is set, a private SO cache with the same cutoff) so no
-// synchronization is needed on the hot path. Results are positionally
-// aligned with pairs.
+// parallelism extension of the paper's Section 7. All workers share one
+// estimator: the walk index and graph are read-only, and the SO cache
+// (when opts.Cache is set) is sharded and internally locked, so the
+// workers cooperatively warm a single cache instead of each paying the
+// O(d^2) normalization cost for pairs another worker already computed.
+// Results are positionally aligned with pairs and identical to a serial
+// loop over Query.
 //
-// workers <= 0 uses GOMAXPROCS.
+// workers <= 0 uses opts.Workers (which itself defaults to
+// runtime.NumCPU).
 func BatchQuery(ix *walk.Index, sem semantic.Measure, opts Options, pairs [][2]hin.NodeID, workers int) ([]float64, error) {
-	// Validate options once up front (per-worker construction reuses
-	// them).
-	if _, err := New(ix, sem, opts); err != nil {
+	est, err := New(ix, sem, opts)
+	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	out := make([]float64, len(pairs))
-	if workers <= 1 {
-		est, err := New(ix, sem, opts)
-		if err != nil {
-			return nil, err
-		}
-		for i, p := range pairs {
-			out[i] = est.Query(p[0], p[1])
-		}
-		return out, nil
-	}
-
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			workerOpts := opts
-			if opts.Cache != nil {
-				workerOpts.Cache = NewSOCache(ix.Graph(), sem, opts.Cache.cutoff)
-			}
-			est, err := New(ix, sem, workerOpts)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for i := lo; i < hi; i++ {
-				out[i] = est.Query(pairs[i][0], pairs[i][1])
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return est.QueryBatch(pairs, workers), nil
 }

@@ -13,11 +13,23 @@
 // additive error (Prop 4.6) for running times on par with SimRank. A
 // SLING-style cache (Section 5.2) memoizes the O(d^2) per-step
 // normalization SO(a,b) for semantically close pairs.
+//
+// # Concurrency
+//
+// Every query-path type in this package is safe for concurrent use: an
+// Estimator holds no per-query state (the walk index, graph and semantic
+// measure are read-only, and the attached SOCache is sharded and
+// internally locked), so one Estimator can be shared by any number of
+// goroutines. TopK and SingleSource additionally fan their candidate
+// scoring out across an internal worker pool (Options.Workers), and
+// QueryBatch evaluates many pairs concurrently on the shared cache.
 package mc
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"semsim/internal/hin"
 	"semsim/internal/pairgraph"
@@ -35,19 +47,29 @@ type Options struct {
 	// once they drop to <= Theta. Lemma 4.7 advises Theta <= 1-C.
 	Theta float64
 	// Cache, when non-nil, memoizes SO normalizations (SLING-style).
+	// The cache is sharded and safe to share across estimators.
 	Cache *SOCache
+	// Workers sizes the scoring pool used by TopK, SingleSource and
+	// QueryBatch. 0 uses runtime.NumCPU(); 1 forces serial scoring.
+	Workers int
 }
 
 // Estimator answers single-pair SemSim queries from a shared walk index.
-// It is not safe for concurrent use when a Cache is attached.
+// It is stateless per query and safe for concurrent use by multiple
+// goroutines, including when a Cache is attached.
 type Estimator struct {
-	ix    *walk.Index
-	g     *hin.Graph
-	sem   semantic.Measure
-	c     float64
-	theta float64
-	cache *SOCache
+	ix      *walk.Index
+	g       *hin.Graph
+	sem     semantic.Measure
+	c       float64
+	theta   float64
+	cache   *SOCache
+	workers int
 }
+
+// minCandidatesPerWorker is the smallest candidate-chunk worth handing a
+// goroutine; below it the spawn overhead dominates the scoring work.
+const minCandidatesPerWorker = 32
 
 // New builds an Estimator over a walk index.
 func New(ix *walk.Index, sem semantic.Measure, opts Options) (*Estimator, error) {
@@ -57,14 +79,36 @@ func New(ix *walk.Index, sem semantic.Measure, opts Options) (*Estimator, error)
 	if opts.Theta < 0 || opts.Theta >= 1 {
 		return nil, fmt.Errorf("mc: theta = %v outside [0,1)", opts.Theta)
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	return &Estimator{
-		ix:    ix,
-		g:     ix.Graph(),
-		sem:   sem,
-		c:     opts.C,
-		theta: opts.Theta,
-		cache: opts.Cache,
+		ix:      ix,
+		g:       ix.Graph(),
+		sem:     sem,
+		c:       opts.C,
+		theta:   opts.Theta,
+		cache:   opts.Cache,
+		workers: workers,
 	}, nil
+}
+
+// Cache returns the attached SO cache, or nil.
+func (e *Estimator) Cache() *SOCache { return e.cache }
+
+// scoringWorkers sizes the pool for a task of n independent units,
+// capping at the configured pool size and at one worker per
+// minCandidatesPerWorker units so tiny tasks stay serial.
+func (e *Estimator) scoringWorkers(n int) int {
+	w := e.workers
+	if byWork := n / minCandidatesPerWorker; byWork < w {
+		w = byWork
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // so returns the SARW normalization for the pair (a,b), via the cache when
@@ -109,6 +153,47 @@ func (e *Estimator) Query(u, v hin.NodeID) float64 {
 	return score
 }
 
+// QueryBatch evaluates many single-pair queries on this estimator,
+// fanning out across the worker pool (workers <= 0 uses the configured
+// pool size). All workers share the estimator — and therefore the SO
+// cache, so one batch warms the cache for the next. Results are
+// positionally aligned with pairs and identical to calling Query serially.
+func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
+	if workers <= 0 {
+		workers = e.workers
+	}
+	if byWork := len(pairs) / minCandidatesPerWorker; byWork < workers {
+		workers = byWork
+	}
+	out := make([]float64, len(pairs))
+	if workers <= 1 {
+		for i, p := range pairs {
+			out[i] = e.Query(p[0], p[1])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Query(pairs[i][0], pairs[i][1])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
 // walkScore computes (P/Q) * c^tau for the prefix of the i-th coupled walk
 // up to its meeting offset tau, with theta pruning (lines 10-18).
 func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
@@ -144,16 +229,58 @@ func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
 
 // TopK returns the k nodes most similar to u (excluding u) in descending
 // score order, omitting zero scores — the paper's top-k similarity search
-// workload.
+// workload. Candidates are scored in parallel across the worker pool;
+// results are identical to a serial scan (rank.TopK's total order makes
+// the selection independent of scoring order).
 func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 	n := e.g.NumNodes()
+	workers := e.scoringWorkers(n)
+	if workers <= 1 {
+		h := rank.NewTopK(k)
+		for v := 0; v < n; v++ {
+			if hin.NodeID(v) == u {
+				continue
+			}
+			if s := e.Query(u, hin.NodeID(v)); s > 0 {
+				h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
+			}
+		}
+		return h.Sorted()
+	}
+	locals := make([]*rank.TopK, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := rank.NewTopK(k)
+			for v := lo; v < hi; v++ {
+				if hin.NodeID(v) == u {
+					continue
+				}
+				if s := e.Query(u, hin.NodeID(v)); s > 0 {
+					h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
+				}
+			}
+			locals[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	h := rank.NewTopK(k)
-	for v := 0; v < n; v++ {
-		if hin.NodeID(v) == u {
+	for _, local := range locals {
+		if local == nil {
 			continue
 		}
-		if s := e.Query(u, hin.NodeID(v)); s > 0 {
-			h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
+		for _, s := range local.Sorted() {
+			h.Push(s)
 		}
 	}
 	return h.Sorted()
@@ -162,9 +289,10 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 // TopKSemBounded is TopK accelerated by Proposition 2.5 (sim(u,v) <=
 // sem(u,v)): candidates are scanned in descending semantic-similarity
 // order, and the scan stops as soon as the heap holds k results whose
-// k-th score is at least the next candidate's semantic bound — no later
+// k-th score beats the next candidate's semantic bound — no later
 // candidate can displace anything. Results are identical to TopK; only
-// the number of walk-coupling evaluations shrinks.
+// the number of walk-coupling evaluations shrinks. The early-terminated
+// scan is inherently sequential, so this path does not use the pool.
 func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
 	n := e.g.NumNodes()
 	type cand struct {
@@ -187,8 +315,10 @@ func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
 	h := rank.NewTopK(k)
 	for _, c := range cands {
 		if h.Full() {
-			if kth, ok := h.Min(); ok && c.sem <= kth.Score {
-				break // Prop 2.5: sim <= sem <= current k-th best
+			// Strict inequality: a candidate whose bound ties the k-th
+			// score could still displace it on the node-id tiebreak.
+			if kth, ok := h.Min(); ok && c.sem < kth.Score {
+				break // Prop 2.5: sim <= sem < current k-th best
 			}
 		}
 		if s := e.Query(u, c.node); s > 0 {

@@ -1,6 +1,8 @@
 package mc
 
 import (
+	"sync"
+
 	"semsim/internal/hin"
 	"semsim/internal/rank"
 	"semsim/internal/walk"
@@ -12,40 +14,79 @@ import (
 // leaves as future work. The result contains only nodes with a nonzero
 // estimate, in ascending node order. Estimates are identical to calling
 // Query(u, v) per candidate (the meeting detection is the same; only the
-// enumeration changes).
+// enumeration changes). Candidate groups are scored in parallel across
+// the worker pool; the output order and values match the serial scan.
 func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scored {
-	nw := float64(e.ix.NumWalks())
-	var out []rank.Scored
-	var cur hin.NodeID = -1
-	var total float64
-	flush := func() {
-		if cur < 0 {
-			return
+	cols := meet.Collisions(u)
+	if len(cols) == 0 {
+		return nil
+	}
+	// Collisions arrive grouped by the colliding node; record the group
+	// boundaries so groups can be scored independently.
+	type group struct {
+		other  hin.NodeID
+		lo, hi int
+	}
+	var groups []group
+	lo := 0
+	for i := 1; i <= len(cols); i++ {
+		if i == len(cols) || cols[i].Other != cols[lo].Other {
+			groups = append(groups, group{cols[lo].Other, lo, i})
+			lo = i
 		}
-		semUV := e.sem.Sim(u, cur)
+	}
+
+	nw := float64(e.ix.NumWalks())
+	scoreGroup := func(g group) float64 {
+		semUV := e.sem.Sim(u, g.other)
 		if e.theta > 0 && semUV <= e.theta {
-			cur = -1
-			total = 0
-			return
+			return 0
+		}
+		var total float64
+		for _, col := range cols[g.lo:g.hi] {
+			total += e.walkScore(u, g.other, int(col.Walk), col.Tau)
 		}
 		score := semUV * total / nw
 		if score > 1 {
 			score = 1
 		}
-		if score > 0 {
-			out = append(out, rank.Scored{Node: cur, Score: score})
-		}
-		cur = -1
-		total = 0
+		return score
 	}
-	for _, col := range meet.Collisions(u) {
-		if col.Other != cur {
-			flush()
-			cur = col.Other
+
+	scores := make([]float64, len(groups))
+	workers := e.scoringWorkers(len(groups))
+	if workers <= 1 {
+		for i, g := range groups {
+			scores[i] = scoreGroup(g)
 		}
-		total += e.walkScore(u, col.Other, int(col.Walk), col.Tau)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(groups) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			glo, ghi := w*chunk, (w+1)*chunk
+			if ghi > len(groups) {
+				ghi = len(groups)
+			}
+			if glo >= ghi {
+				break
+			}
+			wg.Add(1)
+			go func(glo, ghi int) {
+				defer wg.Done()
+				for i := glo; i < ghi; i++ {
+					scores[i] = scoreGroup(groups[i])
+				}
+			}(glo, ghi)
+		}
+		wg.Wait()
 	}
-	flush()
+
+	out := make([]rank.Scored, 0, len(groups))
+	for i, g := range groups {
+		if scores[i] > 0 {
+			out = append(out, rank.Scored{Node: g.other, Score: scores[i]})
+		}
+	}
 	return out
 }
 

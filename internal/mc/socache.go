@@ -1,6 +1,9 @@
 package mc
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"semsim/internal/hin"
 	"semsim/internal/pairgraph"
 	"semsim/internal/semantic"
@@ -13,15 +16,32 @@ import (
 // recomputed on every query, bounding memory to the semantically close
 // pairs that coupled walks actually traverse.
 //
-// The cache fills lazily and is not safe for concurrent use.
+// The cache fills lazily and is safe for concurrent use: entries are
+// partitioned across soCacheShards independently locked shards (striped
+// RW locks), so concurrent queriers touching different pairs proceed
+// without contention, and hit/miss statistics are kept in per-shard
+// atomic counters. SO is deterministic, so a racing double-compute of
+// the same pair stores the same value — last write wins harmlessly.
 type SOCache struct {
 	g      *hin.Graph
 	sem    semantic.Measure
 	cutoff float64
-	vals   map[uint64]float64
-	misses int64
-	hits   int64
+	shards [soCacheShards]soShard
 }
+
+// soShard is one lock stripe of the cache. Counters are atomic so Stats
+// stays exact even while queriers are mutating the shard maps.
+type soShard struct {
+	mu     sync.RWMutex
+	vals   map[uint64]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// soCacheShards is the number of lock stripes. 64 comfortably exceeds
+// the worker counts the query paths spawn (runtime.NumCPU-sized pools),
+// keeping the probability of two workers colliding on a stripe low.
+const soCacheShards = 64
 
 // DefaultSOCutoff is the paper's SLING storage threshold.
 const DefaultSOCutoff = 0.1
@@ -31,7 +51,11 @@ func NewSOCache(g *hin.Graph, sem semantic.Measure, cutoff float64) *SOCache {
 	if cutoff <= 0 {
 		cutoff = DefaultSOCutoff
 	}
-	return &SOCache{g: g, sem: sem, cutoff: cutoff, vals: make(map[uint64]float64)}
+	c := &SOCache{g: g, sem: sem, cutoff: cutoff}
+	for i := range c.shards {
+		c.shards[i].vals = make(map[uint64]float64)
+	}
+	return c
 }
 
 func key(a, b hin.NodeID) uint64 {
@@ -39,6 +63,13 @@ func key(a, b hin.NodeID) uint64 {
 		a, b = b, a
 	}
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// shardOf maps a pair key onto its stripe. The multiplier is the 64-bit
+// Fibonacci hashing constant (2^64/phi), spreading sequential node ids
+// uniformly across stripes.
+func (c *SOCache) shardOf(k uint64) *soShard {
+	return &c.shards[(k*0x9e3779b97f4a7c15)>>(64-6)] // 6 = log2(soCacheShards)
 }
 
 // SO returns the normalization for (a,b), caching it when the pair's
@@ -49,39 +80,88 @@ func (c *SOCache) SO(a, b hin.NodeID) float64 {
 		a, b = b, a
 	}
 	k := key(a, b)
-	if v, ok := c.vals[k]; ok {
-		c.hits++
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	v, ok := sh.vals[k]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
 		return v
 	}
-	c.misses++
-	v := pairgraph.SO(c.g, c.sem, a, b)
+	sh.misses.Add(1)
+	v = pairgraph.SO(c.g, c.sem, a, b)
 	if c.sem.Sim(a, b) >= c.cutoff {
-		c.vals[k] = v
+		sh.mu.Lock()
+		sh.vals[k] = v
+		sh.mu.Unlock()
 	}
 	return v
 }
 
 // Precompute eagerly fills the cache for every pair with sem >= cutoff —
 // the offline SLING index build. It is O(n^2) semantic probes plus O(d^2)
-// per stored pair.
+// per stored pair. Precompute itself is single-threaded; it may not run
+// concurrently with itself but may overlap live SO queries.
 func (c *SOCache) Precompute() {
 	n := c.g.NumNodes()
 	for u := 0; u < n; u++ {
 		for v := u; v < n; v++ {
 			a, b := hin.NodeID(u), hin.NodeID(v)
 			if c.sem.Sim(a, b) >= c.cutoff {
-				c.vals[key(a, b)] = pairgraph.SO(c.g, c.sem, a, b)
+				k := key(a, b)
+				so := pairgraph.SO(c.g, c.sem, a, b)
+				sh := c.shardOf(k)
+				sh.mu.Lock()
+				sh.vals[k] = so
+				sh.mu.Unlock()
 			}
 		}
 	}
 }
 
 // Len reports how many pairs are stored.
-func (c *SOCache) Len() int { return len(c.vals) }
+func (c *SOCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.vals)
+		sh.mu.RUnlock()
+	}
+	return total
+}
 
 // MemoryBytes estimates cache storage (16 bytes per entry plus map
 // overhead approximated at 2x).
-func (c *SOCache) MemoryBytes() int64 { return int64(len(c.vals)) * 32 }
+func (c *SOCache) MemoryBytes() int64 { return int64(c.Len()) * 32 }
 
-// Stats reports hit/miss counters.
-func (c *SOCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+// Stats reports hit/miss counters aggregated over all shards.
+func (c *SOCache) Stats() (hits, misses int64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// ShardStats reports per-stripe entry counts and hit/miss counters, for
+// diagnosing skew in the stripe hash under production workloads.
+type ShardStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// PerShardStats snapshots every stripe.
+func (c *SOCache) PerShardStats() []ShardStats {
+	out := make([]ShardStats, soCacheShards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		out[i].Entries = len(sh.vals)
+		sh.mu.RUnlock()
+		out[i].Hits = sh.hits.Load()
+		out[i].Misses = sh.misses.Load()
+	}
+	return out
+}

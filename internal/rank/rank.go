@@ -16,11 +16,26 @@ type Scored struct {
 	Score float64
 }
 
-// TopK accumulates the k highest-scoring entries seen. The zero value is
-// unusable; call NewTopK.
+// TopK accumulates the k highest-scoring entries seen. Entries are
+// totally ordered — descending score, ties broken by ascending node id —
+// so the selected set is a deterministic function of the pushed multiset,
+// independent of push order. That property is what lets the parallel
+// scoring paths (package mc) merge per-worker accumulators and still
+// reproduce a serial scan bit-for-bit. The zero value is unusable; call
+// NewTopK. A TopK is not safe for concurrent use; parallel scorers keep
+// one per goroutine and merge.
 type TopK struct {
 	k int
 	h minHeap
+}
+
+// better reports whether a outranks b under the total order
+// (higher score wins, equal scores go to the smaller node id).
+func better(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
 }
 
 // NewTopK returns an accumulator for the k best entries. k <= 0 keeps
@@ -30,7 +45,7 @@ func NewTopK(k int) *TopK { return &TopK{k: k} }
 // Push offers an entry.
 func (t *TopK) Push(s Scored) {
 	if t.k > 0 && len(t.h) == t.k {
-		if s.Score <= t.h[0].Score {
+		if !better(s, t.h[0]) {
 			return
 		}
 		t.h[0] = s
@@ -74,7 +89,7 @@ func (t *TopK) Sorted() []Scored {
 type minHeap []Scored
 
 func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h minHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
 func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
 func (h *minHeap) Pop() interface{} {

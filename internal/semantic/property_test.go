@@ -1,0 +1,112 @@
+package semantic
+
+import (
+	"math/rand"
+	"testing"
+
+	"semsim/internal/taxonomy"
+)
+
+// randomTaxonomy samples a random hierarchy over n concepts: each node
+// picks a uniformly random parent id from [-1, n) — out-of-range and
+// self references attach to the virtual root, and any cycles the random
+// parent map closes are broken by the taxonomy builder, so arbitrary
+// random digraph shapes are legal inputs. Roughly half the samples also
+// carry random frequency annotations, exercising the blended IC formula.
+func randomTaxonomy(t *testing.T, rng *rand.Rand, n int) *taxonomy.Taxonomy {
+	t.Helper()
+	parents := make([]int32, n)
+	for i := range parents {
+		parents[i] = int32(rng.Intn(n+2)) - 1 // [-1, n]: root, any node, or out-of-range
+	}
+	var freq []float64
+	if rng.Intn(2) == 0 {
+		freq = make([]float64, n)
+		for i := range freq {
+			freq[i] = rng.Float64() * 100
+		}
+	}
+	tax, err := taxonomy.FromParents(parents, taxonomy.Options{Frequency: freq})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	return tax
+}
+
+// TestMeasurePropertiesRandomTaxonomies property-checks the paper's three
+// admissibility constraints (symmetry, unit self-similarity, range (0,1])
+// for every taxonomy-backed measure over a population of random
+// hierarchies with random frequency annotations (Section 2.2: any
+// admissible function may be plugged into SemSim — these are the stock
+// ones, so they must be admissible on *every* input shape, not just the
+// curated datasets).
+func TestMeasurePropertiesRandomTaxonomies(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	const taxonomies = 25
+	const trialsPerPair = 400
+	for i := 0; i < taxonomies; i++ {
+		n := 2 + rng.Intn(120)
+		tax := randomTaxonomy(t, rng, n)
+		measures := []Measure{
+			Lin{Tax: tax},
+			Resnik{Tax: tax},
+			WuPalmer{Tax: tax},
+			Path{Tax: tax},
+			JiangConrath{Tax: tax},
+			Uniform{},
+		}
+		for _, m := range measures {
+			if err := Validate(m, n, trialsPerPair, rng); err != nil {
+				t.Errorf("taxonomy %d (n=%d): %v", i, n, err)
+			}
+		}
+	}
+}
+
+// TestMeasurePropertiesDegenerateShapes pins the admissibility constraints
+// on the adversarial shapes random sampling is unlikely to hit: a single
+// concept, a pure chain (maximum depth), a star (every node a root child),
+// and an all-cycle parent map that the builder must cut.
+func TestMeasurePropertiesDegenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	shapes := map[string]func(n int) []int32{
+		"single": func(n int) []int32 { return make([]int32, 1) },
+		"chain": func(n int) []int32 {
+			p := make([]int32, n)
+			for i := range p {
+				p[i] = int32(i) - 1
+			}
+			return p
+		},
+		"star": func(n int) []int32 {
+			p := make([]int32, n)
+			for i := range p {
+				p[i] = -1
+			}
+			return p
+		},
+		"cycle": func(n int) []int32 {
+			p := make([]int32, n)
+			for i := range p {
+				p[i] = int32((i + 1) % n)
+			}
+			return p
+		},
+	}
+	for name, build := range shapes {
+		parents := build(40)
+		tax, err := taxonomy.FromParents(parents, taxonomy.Options{})
+		if err != nil {
+			t.Fatalf("%s: FromParents: %v", name, err)
+		}
+		n := len(parents)
+		for _, m := range []Measure{
+			Lin{Tax: tax}, Resnik{Tax: tax}, WuPalmer{Tax: tax},
+			Path{Tax: tax}, JiangConrath{Tax: tax},
+		} {
+			if err := Validate(m, n, 500, rng); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}

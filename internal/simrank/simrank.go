@@ -97,6 +97,8 @@ func Iterative(g *hin.Graph, opts IterOptions) (*Result, error) {
 
 // MC answers single-pair SimRank queries from a precomputed walk index
 // following Fogaras–Rácz: simrank(u,v) ~ (1/n_w) * sum_l c^{tau_l}.
+// MC is immutable after NewMC and safe for concurrent use: Query,
+// SingleSource and TopK only read the walk index and the decay table.
 type MC struct {
 	ix *walk.Index
 	c  float64

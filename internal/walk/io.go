@@ -22,6 +22,14 @@ import (
 const (
 	indexMagic   = "SSWK"
 	indexVersion = 1
+
+	// maxLoadWalks and maxLoadLength bound the header dimensions Load
+	// accepts. The paper's settings are n_w = 150 and t = 15; the caps
+	// leave orders of magnitude of headroom while keeping a corrupted
+	// (or adversarial) header from driving the n*n_w*(t+1) walk-buffer
+	// allocation to gigabytes before the truncated body is noticed.
+	maxLoadWalks  = 1 << 20
+	maxLoadLength = 1 << 16
 )
 
 // WriteTo serializes the index. The graph itself is not stored; Load
@@ -92,13 +100,22 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 		return nil, fmt.Errorf("walk: index built for %d nodes / %d edges, graph has %d / %d",
 			n, edges, g.NumNodes(), g.NumEdges())
 	}
-	if nw < 1 || t < 1 {
+	if nw < 1 || t < 1 || nw > maxLoadWalks || t > maxLoadLength {
 		return nil, fmt.Errorf("walk: corrupt header: numWalks=%d length=%d", nw, t)
 	}
 	ix := &Index{g: g, n: n, nw: nw, t: t, stride: t + 1}
-	ix.walks = make([]int32, n*nw*ix.stride)
+	// The walk buffer grows with the bytes actually read rather than
+	// being preallocated from the header: a corrupt header can claim
+	// dimensions whose product is terabytes while the body is empty,
+	// and the upfront make() would OOM before the truncation surfaced.
+	total := n * nw * ix.stride
+	initial := total
+	if initial > 1<<20 {
+		initial = 1 << 20
+	}
+	ix.walks = make([]int32, 0, initial)
 	buf := make([]byte, 4)
-	for i := range ix.walks {
+	for i := 0; i < total; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("walk: reading walks: %w", err)
 		}
@@ -106,7 +123,7 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 		if step != Stop && (step < 0 || int(step) >= n) {
 			return nil, fmt.Errorf("walk: corrupt walk step %d at offset %d", step, i)
 		}
-		ix.walks[i] = step
+		ix.walks = append(ix.walks, step)
 	}
 	return ix, nil
 }

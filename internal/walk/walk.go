@@ -21,7 +21,11 @@ import (
 // in-neighbors before step t).
 const Stop int32 = -1
 
-// Index is an immutable walk index.
+// Index is an immutable walk index. Once Build (or Load) returns, the
+// index is never mutated: Walk, Meet, Graph and the size accessors are
+// pure reads, so an Index may be shared freely across goroutines. Refresh
+// does not mutate the receiver either — it returns a new Index. The only
+// write APIs are the constructors themselves.
 type Index struct {
 	g      *hin.Graph
 	n      int

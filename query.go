@@ -43,20 +43,26 @@ type IndexOptions struct {
 	// index, enabling SingleSource queries and collision-driven TopK
 	// (cost: one extra pass over the walks plus ~2x walk storage).
 	MeetIndex bool
+	// Workers sizes the scoring pool used by TopK, SingleSource and
+	// BatchQuery. 0 uses runtime.NumCPU(); 1 forces serial scoring.
+	Workers int
 }
 
 // Index answers single-pair and top-k SemSim queries in O(n_w * t * d^2)
 // average time (O(n_w * t) with the SLING cache), per Section 4.
+//
+// An Index is safe for concurrent use: any number of goroutines may call
+// Query, TopK, TopKSemBounded, SingleSource, BatchQuery and SimRankQuery
+// on a shared Index, including when the SLING cache is enabled (the
+// cache is sharded with striped locks). The parallel results are
+// identical to serial ones. Only construction (BuildIndex / LoadIndex)
+// and SaveWalks are single-threaded operations.
 type Index struct {
 	walks *walk.Index
 	est   *mc.Estimator
 	srmc  *simrank.MC
 	cache *mc.SOCache
 	meet  *walk.MeetIndex
-
-	// Retained for BatchQuery's per-worker estimator construction.
-	sem     Measure
-	estOpts mc.Options
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
@@ -78,7 +84,7 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	if opts.SLINGCutoff > 0 {
 		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
 	}
-	est, err := mc.New(ix, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache})
+	est, err := mc.New(ix, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +92,7 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache,
-		sem: sem, estOpts: mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache}}
+	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache}
 	if opts.MeetIndex {
 		idx.meet = walk.BuildMeetIndex(ix)
 	}
@@ -127,16 +132,29 @@ func (ix *Index) TopKSemBounded(u NodeID, k int) []Scored {
 	return ix.est.TopKSemBounded(u, k)
 }
 
-// BatchQuery evaluates many pairs concurrently over this index's walks,
-// one private estimator (and SO cache) per worker. workers <= 0 uses
-// GOMAXPROCS. Results align positionally with pairs.
+// BatchQuery evaluates many pairs concurrently over this index's walks.
+// All workers share the index's estimator and SO cache, so batches warm
+// the cache for subsequent queries instead of discarding per-worker
+// copies. workers <= 0 uses the configured pool size
+// (IndexOptions.Workers, defaulting to NumCPU). Results align
+// positionally with pairs and match a serial Query loop exactly.
 func (ix *Index) BatchQuery(pairs [][2]NodeID, workers int) ([]float64, error) {
-	return mc.BatchQuery(ix.walks, ix.sem, ix.estOpts, pairs, workers)
+	return ix.est.QueryBatch(pairs, workers), nil
 }
 
 // SimRankQuery estimates the plain SimRank score on the same walk index
 // (the Fogaras–Rácz estimator) — useful for side-by-side comparisons.
 func (ix *Index) SimRankQuery(u, v NodeID) float64 { return ix.srmc.Query(u, v) }
+
+// CacheStats reports the SLING cache's aggregate hit/miss counters
+// (zeros when the cache is disabled). The counters are atomic, so the
+// snapshot is safe to take while queries are in flight.
+func (ix *Index) CacheStats() (hits, misses int64) {
+	if ix.cache == nil {
+		return 0, 0
+	}
+	return ix.cache.Stats()
+}
 
 // SaveWalks persists the precomputed walk index; LoadIndex restores it
 // without resampling (the dominant preprocessing cost).
@@ -160,7 +178,7 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 	if opts.SLINGCutoff > 0 {
 		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
 	}
-	est, err := mc.New(walks, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache})
+	est, err := mc.New(walks, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -168,8 +186,7 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{walks: walks, est: est, srmc: srmc, cache: cache,
-		sem: sem, estOpts: mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache}}
+	idx := &Index{walks: walks, est: est, srmc: srmc, cache: cache}
 	if opts.MeetIndex {
 		idx.meet = walk.BuildMeetIndex(walks)
 	}

@@ -28,6 +28,17 @@
 //
 // The internal packages expose the individual subsystems; this package is
 // the stable, documented surface intended for downstream use.
+//
+// # Concurrency
+//
+// A built Index is safe for concurrent use: any number of goroutines may
+// share one Index for Query, TopK, TopKSemBounded, SingleSource,
+// BatchQuery and SimRankQuery, including with the SLING cache enabled
+// (it is sharded with striped locks and atomic statistics). Parallel
+// results are identical to serial ones. Construction (BuildIndex,
+// LoadIndex, BuildTaxonomy, graph building) is single-threaded; treat
+// those as per-goroutine operations. IndexOptions.Workers sizes the
+// internal scoring pool used by TopK, SingleSource and BatchQuery.
 package semsim
 
 import (
