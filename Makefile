@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seed fuzz bench ci
+.PHONY: all build test vet race fuzz-seed fuzz bench bench-json ci
 
 all: build
 
@@ -35,6 +35,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Runs the hot-path query benchmarks and records ns/op + allocs/op in
+# BENCH_query.json, the machine-readable perf trajectory (compare the
+# file across commits to catch regressions).
+BENCH_JSON_REGEXP ?= BenchmarkQuery|BenchmarkTopK|BenchmarkSingleSource|BenchmarkBatch
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_query.json -bench '$(BENCH_JSON_REGEXP)'
 
 ci:
 	./ci.sh

@@ -17,6 +17,7 @@ import (
 	"semsim/internal/experiments"
 	"semsim/internal/hin"
 	"semsim/internal/mc"
+	"semsim/internal/obs"
 	"semsim/internal/simrank"
 	"semsim/internal/walk"
 )
@@ -157,10 +158,12 @@ func BenchmarkPreprocessing(b *testing.B) {
 type benchEnv struct {
 	d   *datagen.Dataset
 	ix  *walk.Index
-	est *mc.Estimator // SemSim, no pruning
-	prn *mc.Estimator // SemSim + pruning + SLING
-	sr  *simrank.MC   // SimRank
-	idx *semsim.Index // public facade index
+	est  *mc.Estimator // SemSim, no pruning
+	prn  *mc.Estimator // SemSim + pruning + SLING
+	prnM *mc.Estimator // SemSim + pruning + SLING + live metrics registry
+	sr   *simrank.MC   // SimRank
+	idx  *semsim.Index // public facade index
+	idxM *semsim.Index // public facade index with metrics enabled
 }
 
 var envCache *benchEnv
@@ -191,13 +194,27 @@ func env(b *testing.B) *benchEnv {
 	if err != nil {
 		b.Fatal(err)
 	}
+	prnM, err := mc.New(ix, d.Lin, mc.Options{
+		C: 0.6, Theta: 0.05, Cache: mc.NewSOCache(d.Graph, d.Lin, 0.1),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	idx, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
 		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	envCache = &benchEnv{d: d, ix: ix, est: est, prn: prn, sr: sr, idx: idx}
+	idxM, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
+		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
+		Metrics: semsim.NewMetrics(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache = &benchEnv{d: d, ix: ix, est: est, prn: prn, prnM: prnM, sr: sr, idx: idx, idxM: idxM}
 	return envCache
 }
 
@@ -250,6 +267,19 @@ func BenchmarkQuerySemSimPrunedSLING(b *testing.B) {
 	}
 }
 
+// BenchmarkQuerySemSimPrunedSLINGMetrics is the same pruned+cached query
+// with a live metrics registry attached — the delta against
+// BenchmarkQuerySemSimPrunedSLING is the full observability overhead
+// (budget: <= 2%, 0 extra allocs/op).
+func BenchmarkQuerySemSimPrunedSLINGMetrics(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.prnM.Query(u, v)
+	}
+}
+
 // BenchmarkLinLookup measures the constant-time semantic similarity the
 // complexity analysis assumes (taxonomy IC + O(1) LCA).
 func BenchmarkLinLookup(b *testing.B) {
@@ -277,6 +307,17 @@ func BenchmarkTopK10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
 		e.idx.TopK(u, 10)
+	}
+}
+
+// BenchmarkTopK10Metrics is the instrumented twin of BenchmarkTopK10:
+// top-k scan loops use the uninstrumented internal query path, so only
+// the per-search aggregates are recorded.
+func BenchmarkTopK10Metrics(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		u, _ := pairAt(e, i)
+		e.idxM.TopK(u, 10)
 	}
 }
 

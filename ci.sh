@@ -1,10 +1,13 @@
 #!/bin/sh
 # CI gate for the semsim repository. Three tiers, all required:
 #
-#   1. build + vet + full test suite        (functional correctness)
+#   1. build + vet + full test suite        (functional correctness),
+#      plus the observability smoke test: starts the semsim serve
+#      debug server, scrapes /metrics and asserts the core series
 #   2. full test suite under -race          (concurrency correctness —
 #      the stress tests drive 8+ goroutines through one shared cached
-#      Index and assert bit-identical results vs serial runs)
+#      Index and assert bit-identical results vs serial runs; includes
+#      the internal/obs concurrent-instrument tests)
 #   3. fuzz seed corpora as unit tests      (IO robustness regression)
 #
 # Usage: ./ci.sh   (or: make ci)
@@ -13,14 +16,20 @@ set -eu
 echo "==> tier 1: build"
 go build ./...
 
-echo "==> tier 1: vet"
+echo "==> tier 1: vet (includes internal/obs)"
 go vet ./...
 
 echo "==> tier 1: tests"
 go test ./...
 
+echo "==> tier 1: serve observability smoke test"
+go test ./cmd/semsim/ -run TestServeSmoke -count=1
+
 echo "==> tier 2: race detector"
 go test -race ./...
+
+echo "==> tier 2: obs instruments under race"
+go test -race ./internal/obs/
 
 echo "==> tier 3: fuzz seed corpora"
 go test ./internal/walk/ -run Fuzz

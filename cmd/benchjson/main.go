@@ -1,0 +1,164 @@
+// Command benchjson runs the repository's Go benchmarks and writes the
+// parsed results as JSON, so the performance trajectory can be tracked
+// commit over commit (the BENCH_*.json files referenced by the roadmap):
+//
+//	benchjson -out BENCH_query.json -bench 'BenchmarkQuery|BenchmarkTopK' [-pkg .] [-count 1]
+//
+// It shells out to `go test -run ^$ -bench ... -benchmem` and parses the
+// standard benchmark output lines:
+//
+//	BenchmarkQuerySemSimMC-8   12345   9876 ns/op   12 B/op   3 allocs/op
+//
+// Entries carry ns/op, B/op and allocs/op per benchmark plus run
+// metadata (Go version, GOMAXPROCS, timestamp, git commit when
+// available).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	Commit      string    `json:"commit,omitempty"`
+	BenchRegexp string    `json:"bench_regexp"`
+	Package     string    `json:"package"`
+	Benchmarks  []Result  `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_query.json", "output JSON path")
+		bench = flag.String("bench", "BenchmarkQuery|BenchmarkTopK|BenchmarkSingleSource|BenchmarkBatch", "benchmark regexp passed to -bench")
+		pkg   = flag.String("pkg", ".", "package to benchmark")
+		count = flag.Int("count", 1, "benchmark repetitions (-count)")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$",
+		"-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count), *pkg}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+
+	results := parseBench(buf.String())
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q — output was:\n%s", *bench, buf.String()))
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Commit:      gitCommit(),
+		BenchRegexp: *bench,
+		Package:     *pkg,
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Lines look like:
+//
+//	BenchmarkName-8   iterations   N ns/op [  B B/op   A allocs/op ]
+func parseBench(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: name, Procs: procs, Iterations: iters}
+		// Remaining fields come in "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if r.NsPerOp > 0 {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// splitProcs separates the -N GOMAXPROCS suffix from a benchmark name.
+func splitProcs(s string) (name string, procs int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, 1
+	}
+	return s[:i], p
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -6,10 +6,13 @@
 //	semsim topk   -graph g.hin -u NAME -k 10 [flags]
 //	semsim single -graph g.hin -u NAME -k 10 [flags]   (inverted-index single-source)
 //	semsim exact  -graph g.hin -top 20 [flags]
+//	semsim serve  -graph g.hin -debug-addr :6060       (resident HTTP server, see serve.go)
 //
 // Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
 // node, -t walk length, -sling SO-cache cutoff, -seed. The walk index can
 // be persisted across runs with -save-walks FILE / -load-walks FILE.
+// serve additionally takes -debug-addr (required) and -warmup, and
+// mounts /metrics, /debug/vars and /debug/pprof/ next to the query API.
 package main
 
 import (
@@ -42,6 +45,8 @@ func main() {
 		seed      = fs.Int64("seed", 1, "random seed")
 		saveWalks = fs.String("save-walks", "", "persist the walk index to this file after building")
 		loadWalks = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
+		debugAddr = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
+		warmup    = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
 	)
 	fs.Parse(os.Args[2:])
 	if *graphPath == "" {
@@ -145,6 +150,21 @@ func main() {
 		for i, s := range idx.TopK(u, *k) {
 			fmt.Printf("%2d. %-30s %.6f\n", i+1, g.NodeName(s.Node), s.Score)
 		}
+	case "serve":
+		if *debugAddr == "" {
+			fatal("serve needs -debug-addr")
+		}
+		err := runServe(g, lin, serveConfig{
+			debugAddr: *debugAddr,
+			warmup:    *warmup,
+			opts: semsim.IndexOptions{
+				NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
+				SLINGCutoff: *sling, Seed: *seed, Parallel: true,
+			},
+		}, nil)
+		if err != nil {
+			fatal(err)
+		}
 	case "exact":
 		res, err := semsim.Exact(g, lin, semsim.ExactOptions{C: *c, MaxIterations: *iters, Parallel: true})
 		if err != nil {
@@ -186,7 +206,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact} -graph FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact|serve} -graph FILE [flags]")
 }
 
 func fatal(v interface{}) {

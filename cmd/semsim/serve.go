@@ -1,0 +1,175 @@
+package main
+
+// The serve subcommand keeps a built index resident and exposes it over
+// HTTP together with the full observability surface:
+//
+//	semsim serve -graph g.hin -debug-addr :6060 [index flags]
+//
+//	/query?u=NAME&v=NAME   similarity of one pair (JSON)
+//	/topk?u=NAME&k=10      top-k most similar nodes (JSON)
+//	/snapshot              structured metrics snapshot (JSON)
+//	/metrics               Prometheus text exposition
+//	/debug/vars            expvar (the registry publishes under "semsim")
+//	/debug/pprof/          net/http/pprof profiles
+//	/healthz               liveness probe
+//
+// Startup runs -warmup queries (default 4) so the latency histograms
+// and cache statistics are populated before the first scrape.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+
+	"semsim"
+)
+
+// serveConfig carries everything the serve subcommand needs besides the
+// already-loaded graph and measure.
+type serveConfig struct {
+	debugAddr string
+	warmup    int
+	opts      semsim.IndexOptions
+}
+
+// runServe builds the instrumented index, warms it, and serves until
+// the listener fails. When ready is non-nil the bound address is sent
+// on it once the listener is up (used by the CI smoke test to serve on
+// 127.0.0.1:0).
+func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<- string) error {
+	reg := semsim.NewMetrics()
+	tr := semsim.NewTrace("serve-startup")
+	cfg.opts.Metrics = reg
+	cfg.opts.Trace = tr
+	cfg.opts.MeetIndex = true
+
+	idx, err := semsim.BuildIndex(g, sem, cfg.opts)
+	if err != nil {
+		return err
+	}
+
+	// Warm-up traffic: populates the query histogram, the pruning
+	// counters and the SLING cache so the first scrape is non-empty.
+	n := g.NumNodes()
+	for i := 0; i < cfg.warmup && n > 1; i++ {
+		u := semsim.NodeID(i % n)
+		v := semsim.NodeID((i + 1) % n)
+		idx.Query(u, v)
+	}
+	if n > 1 {
+		idx.TopK(0, 5)
+	}
+	fmt.Fprint(os.Stderr, tr.String())
+
+	reg.PublishExpvar("semsim")
+	mux := newServeMux(g, sem, idx, reg)
+
+	l, err := net.Listen("tcp", cfg.debugAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "semsim: serving on http://%s (metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n",
+		l.Addr())
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return http.Serve(l, mux)
+}
+
+// newServeMux mounts the query API and the three debug surfaces.
+func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *semsim.Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	node := func(w http.ResponseWriter, r *http.Request, param string) (semsim.NodeID, bool) {
+		name := r.URL.Query().Get(param)
+		if name == "" {
+			http.Error(w, "missing ?"+param+"=NODE", http.StatusBadRequest)
+			return 0, false
+		}
+		id, ok := g.NodeByName(name)
+		if !ok {
+			http.Error(w, "unknown node "+name, http.StatusNotFound)
+			return 0, false
+		}
+		return id, true
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		u, ok := node(w, r, "u")
+		if !ok {
+			return
+		}
+		v, ok := node(w, r, "v")
+		if !ok {
+			return
+		}
+		writeJSON(w, map[string]any{
+			"u":       g.NodeName(u),
+			"v":       g.NodeName(v),
+			"sem":     sem.Sim(u, v),
+			"semsim":  idx.Query(u, v),
+			"simrank": idx.SimRankQuery(u, v),
+		})
+	})
+
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		u, ok := node(w, r, "u")
+		if !ok {
+			return
+		}
+		k := 10
+		if s := r.URL.Query().Get("k"); s != "" {
+			var err error
+			if k, err = strconv.Atoi(s); err != nil || k < 1 {
+				http.Error(w, "bad ?k", http.StatusBadRequest)
+				return
+			}
+		}
+		type hit struct {
+			Node  string  `json:"node"`
+			Score float64 `json:"score"`
+		}
+		hits := []hit{}
+		for _, s := range idx.TopK(u, k) {
+			hits = append(hits, hit{g.NodeName(s.Node), s.Score})
+		}
+		writeJSON(w, map[string]any{"u": g.NodeName(u), "k": k, "results": hits})
+	})
+
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, idx.Snapshot())
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	// net/http/pprof self-registers only on the default mux; mount its
+	// handlers on ours explicitly. pprof.Index routes the named
+	// profiles (heap, goroutine, block, mutex, ...) itself.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}

@@ -1,0 +1,162 @@
+package main
+
+// Smoke test for the serve subcommand, run by ci.sh tier 1: starts the
+// real serve path (index build, warm-up, listener, mux) on an ephemeral
+// port, scrapes /metrics, /debug/vars and /debug/pprof/, and asserts the
+// core series are populated.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"semsim"
+)
+
+// smokeGraph builds a small two-community co-authorship network with a
+// taxonomy, enough for nonzero similarities and cache traffic.
+func smokeGraph(t *testing.T) (*semsim.Graph, semsim.Measure) {
+	t.Helper()
+	b := semsim.NewGraphBuilder()
+	field := b.AddNode("Field", "category")
+	db := b.AddNode("Databases", "field")
+	ml := b.AddNode("MachineLearning", "field")
+	cat := b.AddNode("Author", "category")
+	isa := func(c, p semsim.NodeID) {
+		b.AddEdge(c, p, "is-a", 1)
+		b.AddEdge(p, c, "has-instance", 1)
+	}
+	isa(db, field)
+	isa(ml, field)
+	names := []string{"ada", "ben", "cho", "dee", "eve", "fay"}
+	authors := make([]semsim.NodeID, len(names))
+	for i, n := range names {
+		authors[i] = b.AddNode(n, "author")
+		isa(authors[i], cat)
+		topic := db
+		if i >= 3 {
+			topic = ml
+		}
+		b.AddUndirected(authors[i], topic, "interest", 2)
+	}
+	for i := 1; i < len(authors); i++ {
+		b.AddUndirected(authors[i-1], authors[i], "co-author", 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax, err := semsim.BuildTaxonomy(g, semsim.TaxonomyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, semsim.NewLin(tax)
+}
+
+func TestServeSmoke(t *testing.T) {
+	g, lin := smokeGraph(t)
+	cfg := serveConfig{
+		debugAddr: "127.0.0.1:0",
+		warmup:    8,
+		opts: semsim.IndexOptions{
+			NumWalks: 80, WalkLength: 8, C: 0.6, Theta: 0.05,
+			SLINGCutoff: 0.1, Seed: 1,
+		},
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- runServe(g, lin, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not come up within 30s")
+	}
+	base := "http://" + addr
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	// A live query on top of the warm-up so every series is exercised.
+	q := get("/query?u=ada&v=ben")
+	var qr map[string]any
+	if err := json.Unmarshal([]byte(q), &qr); err != nil {
+		t.Fatalf("/query returned invalid JSON: %v\n%s", err, q)
+	}
+	if _, ok := qr["semsim"]; !ok {
+		t.Fatalf("/query response missing semsim score: %s", q)
+	}
+	get("/topk?u=ada&k=3")
+
+	metrics := get("/metrics")
+	for _, series := range []string{
+		"semsim_build_seconds_count",
+		"semsim_walk_build_seconds_count",
+		"semsim_queries_total",
+		"semsim_query_seconds_bucket",
+		"semsim_query_seconds_count",
+		"semsim_topk_seconds_count",
+		"semsim_cache_hit_ratio",
+		"semsim_cache_hits_total",
+		"semsim_theta_sem_skips_total",
+		"semsim_theta_walk_caps_total",
+		"semsim_walks_coupled_total",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("/metrics missing core series %s", series)
+		}
+	}
+	// Populated, not just present: the warm-up queries must have been
+	// timed and the cache probed.
+	for _, zero := range []string{"semsim_queries_total 0\n", "semsim_query_seconds_count 0\n"} {
+		if strings.Contains(metrics, zero) {
+			t.Errorf("/metrics series unexpectedly zero after warm-up: %s", strings.TrimSpace(zero))
+		}
+	}
+
+	vars := get("/debug/vars")
+	var ev map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &ev); err != nil {
+		t.Fatalf("/debug/vars invalid JSON: %v", err)
+	}
+	if _, ok := ev["semsim"]; !ok {
+		t.Error("/debug/vars missing the published semsim registry")
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+	get("/debug/pprof/goroutine?debug=1")
+
+	snap := get("/snapshot")
+	var s semsim.MetricsSnapshot
+	if err := json.Unmarshal([]byte(snap), &s); err != nil {
+		t.Fatalf("/snapshot invalid JSON: %v", err)
+	}
+	if s.Counters["semsim_queries_total"] == 0 {
+		t.Error("/snapshot reports zero queries after warm-up traffic")
+	}
+	if h, ok := s.Histograms["semsim_query_seconds"]; !ok || h.Count == 0 {
+		t.Error("/snapshot query latency histogram empty")
+	}
+}

@@ -1,5 +1,8 @@
 // Quickstart: build a tiny bibliographic network, compute SemSim both
-// exactly and with the Monte-Carlo index, and compare against SimRank.
+// exactly and with the Monte-Carlo index, and compare against SimRank —
+// with the observability layer wired in: a Trace breaks the run into
+// timed phases and a Metrics registry captures query latency and cache
+// behavior.
 package main
 
 import (
@@ -44,7 +47,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tax, err := semsim.BuildTaxonomy(g, semsim.TaxonomyOptions{})
+
+	// The trace collects a per-phase timing breakdown (printed at the
+	// end); the registry collects latency histograms and counters.
+	tr := semsim.NewTrace("quickstart")
+	metrics := semsim.NewMetrics()
+
+	var tax *semsim.Taxonomy
+	tr.Time("taxonomy", func() {
+		tax, err = semsim.BuildTaxonomy(g, semsim.TaxonomyOptions{})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,30 +69,53 @@ func main() {
 	fmt.Printf("uniqueness decay bound: %.3f; using c = 0.6\n\n", bound)
 
 	// Exact all-pairs fixpoint.
-	exact, err := semsim.Exact(g, lin, semsim.ExactOptions{C: 0.6, MaxIterations: 10})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Monte-Carlo index (Algorithm 1 with pruning + SLING cache).
-	idx, err := semsim.BuildIndex(g, lin, semsim.IndexOptions{
-		NumWalks: 500, WalkLength: 12, C: 0.6, Theta: 0.01, SLINGCutoff: 0.1, Seed: 1,
+	var exact *semsim.ExactResult
+	tr.Time("exact-fixpoint", func() {
+		exact, err = semsim.Exact(g, lin, semsim.ExactOptions{C: 0.6, MaxIterations: 10})
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("pair            exact    MC-est   SimRank")
-	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}}
-	for _, p := range pairs {
-		u, v := authors[p[0]], authors[p[1]]
-		fmt.Printf("%-4s vs %-6s  %.4f   %.4f   %.4f\n",
-			names[p[0]], names[p[1]],
-			exact.Scores.At(u, v), idx.Query(u, v), idx.SimRankQuery(u, v))
+	// Monte-Carlo index (Algorithm 1 with pruning + SLING cache). The
+	// index records its own build phases (walk-sample,
+	// sling-cache-init) as sub-spans of the same trace, and its query
+	// paths feed the registry.
+	idx, err := semsim.BuildIndex(g, lin, semsim.IndexOptions{
+		NumWalks: 500, WalkLength: 12, C: 0.6, Theta: 0.01, SLINGCutoff: 0.1, Seed: 1,
+		Metrics: metrics, Trace: tr,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println("\ntop-3 most similar to ada:")
-	for i, s := range idx.TopK(authors[0], 3) {
-		fmt.Printf("%d. %-16s %.4f\n", i+1, g.NodeName(s.Node), s.Score)
-	}
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}}
+	tr.Time("queries", func() {
+		fmt.Println("pair            exact    MC-est   SimRank")
+		for _, p := range pairs {
+			u, v := authors[p[0]], authors[p[1]]
+			fmt.Printf("%-4s vs %-6s  %.4f   %.4f   %.4f\n",
+				names[p[0]], names[p[1]],
+				exact.Scores.At(u, v), idx.Query(u, v), idx.SimRankQuery(u, v))
+		}
+	})
+
+	tr.Time("topk", func() {
+		fmt.Println("\ntop-3 most similar to ada:")
+		for i, s := range idx.TopK(authors[0], 3) {
+			fmt.Printf("%d. %-16s %.4f\n", i+1, g.NodeName(s.Node), s.Score)
+		}
+	})
+
+	// The observability readout: the per-phase trace breakdown plus a
+	// few aggregates from the metrics snapshot.
+	fmt.Println()
+	fmt.Print(tr.String())
+	snap := idx.Snapshot()
+	cache := idx.CacheSummary()
+	fmt.Printf("\nqueries: %d (p50 %.1fus, p99 %.1fus)   SLING cache: %.0f%% hits, %d entries\n",
+		snap.Counters["semsim_queries_total"],
+		snap.Histograms["semsim_query_seconds"].P50*1e6,
+		snap.Histograms["semsim_query_seconds"].P99*1e6,
+		100*cache.HitRatio, cache.Entries)
 }

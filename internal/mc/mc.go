@@ -30,8 +30,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"semsim/internal/hin"
+	"semsim/internal/obs"
 	"semsim/internal/pairgraph"
 	"semsim/internal/rank"
 	"semsim/internal/semantic"
@@ -52,6 +54,11 @@ type Options struct {
 	// Workers sizes the scoring pool used by TopK, SingleSource and
 	// QueryBatch. 0 uses runtime.NumCPU(); 1 forces serial scoring.
 	Workers int
+	// Metrics, when non-nil, receives the estimator's counters,
+	// latency histograms and pruning statistics (see internal/obs).
+	// When nil — the default — every instrument is a nil no-op and the
+	// query path adds zero allocations and no atomic traffic.
+	Metrics *obs.Registry
 }
 
 // Estimator answers single-pair SemSim queries from a shared walk index.
@@ -65,6 +72,7 @@ type Estimator struct {
 	theta   float64
 	cache   *SOCache
 	workers int
+	m       instruments
 }
 
 // minCandidatesPerWorker is the smallest candidate-chunk worth handing a
@@ -83,6 +91,7 @@ func New(ix *walk.Index, sem semantic.Measure, opts Options) (*Estimator, error)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	registerCacheMetrics(opts.Metrics, opts.Cache)
 	return &Estimator{
 		ix:      ix,
 		g:       ix.Graph(),
@@ -91,6 +100,7 @@ func New(ix *walk.Index, sem semantic.Measure, opts Options) (*Estimator, error)
 		theta:   opts.Theta,
 		cache:   opts.Cache,
 		workers: workers,
+		m:       newInstruments(opts.Metrics),
 	}, nil
 }
 
@@ -125,24 +135,48 @@ func (e *Estimator) so(a, b hin.NodeID) float64 {
 }
 
 // Query estimates sim(u,v) with Algorithm 1. The returned score is clamped
-// into [0,1] (cf. Lemma 4.7).
+// into [0,1] (cf. Lemma 4.7). When metrics are enabled the call is timed
+// into semsim_query_seconds and counted in semsim_queries_total; the
+// pruning counters fire inside the scoring loop either way.
 func (e *Estimator) Query(u, v hin.NodeID) float64 {
+	t0 := e.m.queryLat.Start()
+	score := e.query(u, v)
+	e.m.queryLat.ObserveSince(t0)
+	e.m.queries.Inc()
+	return score
+}
+
+// query is the uninstrumented single-pair evaluation shared by Query and
+// the top-k scan loops (which report aggregate candidate counts instead
+// of per-candidate timings). Pruning statistics are accumulated locally
+// and flushed with one atomic add per call so heavy concurrent scans
+// don't serialize on the shared counters.
+func (e *Estimator) query(u, v hin.NodeID) float64 {
 	if u == v {
 		return 1
 	}
 	semUV := e.sem.Sim(u, v)
 	if e.theta > 0 && semUV <= e.theta {
+		e.m.semSkips.Inc()
 		return 0 // lines 2-3 of Algorithm 1
 	}
 	nw := e.ix.NumWalks()
 	var total float64
+	var coupled, capped int64
 	for i := 0; i < nw; i++ {
 		tau, ok := e.ix.Meet(u, v, i)
 		if !ok {
 			continue
 		}
-		total += e.walkScore(u, v, i, tau)
+		coupled++
+		s, hitCap := e.walkScore(u, v, i, tau)
+		if hitCap {
+			capped++
+		}
+		total += s
 	}
+	e.m.walksCoupled.Add(coupled)
+	e.m.walkCaps.Add(capped)
 	score := semUV * total / float64(nw)
 	if score < 0 {
 		return 0
@@ -159,6 +193,7 @@ func (e *Estimator) Query(u, v hin.NodeID) float64 {
 // cache, so one batch warms the cache for the next. Results are
 // positionally aligned with pairs and identical to calling Query serially.
 func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
+	t0 := e.m.batchLat.Start()
 	if workers <= 0 {
 		workers = e.workers
 	}
@@ -170,6 +205,7 @@ func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
 		for i, p := range pairs {
 			out[i] = e.Query(p[0], p[1])
 		}
+		e.finishBatch(t0, len(pairs))
 		return out
 	}
 	var wg sync.WaitGroup
@@ -183,20 +219,33 @@ func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
 			break
 		}
 		wg.Add(1)
+		e.m.poolTasks.Inc()
 		go func(lo, hi int) {
 			defer wg.Done()
+			e.m.poolActive.Add(1)
+			defer e.m.poolActive.Add(-1)
 			for i := lo; i < hi; i++ {
 				out[i] = e.Query(pairs[i][0], pairs[i][1])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	e.finishBatch(t0, len(pairs))
 	return out
 }
 
+// finishBatch flushes the batch-level instruments.
+func (e *Estimator) finishBatch(t0 time.Time, pairs int) {
+	e.m.batchLat.ObserveSince(t0)
+	e.m.batches.Inc()
+	e.m.batchPairs.Add(int64(pairs))
+}
+
 // walkScore computes (P/Q) * c^tau for the prefix of the i-th coupled walk
-// up to its meeting offset tau, with theta pruning (lines 10-18).
-func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
+// up to its meeting offset tau, with theta pruning (lines 10-18). capped
+// reports whether the theta cap cut the product short (Definition 4.5) —
+// the per-walk signal behind semsim_theta_walk_caps_total.
+func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) (score float64, capped bool) {
 	wu := e.ix.Walk(u, i)
 	wv := e.ix.Walk(v, i)
 	simW := 1.0
@@ -206,7 +255,7 @@ func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
 
 		so := e.so(cu, cv)
 		if so == 0 {
-			return 0
+			return 0, false
 		}
 		// P step: sem(next pair) * aggregated edge weights / SO.
 		wU, multU := e.g.InEdgeAggregate(cu, nu)
@@ -221,10 +270,10 @@ func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
 		if e.theta > 0 && simW <= e.theta {
 			// Definition 4.5: cap the contribution at the first step
 			// the partial product drops to <= theta.
-			return simW
+			return simW, true
 		}
 	}
-	return simW
+	return simW, false
 }
 
 // TopK returns the k nodes most similar to u (excluding u) in descending
@@ -233,6 +282,7 @@ func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) float64 {
 // results are identical to a serial scan (rank.TopK's total order makes
 // the selection independent of scoring order).
 func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
+	t0 := e.m.topkLat.Start()
 	n := e.g.NumNodes()
 	workers := e.scoringWorkers(n)
 	if workers <= 1 {
@@ -241,10 +291,11 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 			if hin.NodeID(v) == u {
 				continue
 			}
-			if s := e.Query(u, hin.NodeID(v)); s > 0 {
+			if s := e.query(u, hin.NodeID(v)); s > 0 {
 				h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
 			}
 		}
+		e.finishTopK(t0, h.Pushes())
 		return h.Sorted()
 	}
 	locals := make([]*rank.TopK, workers)
@@ -259,14 +310,17 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 			break
 		}
 		wg.Add(1)
+		e.m.poolTasks.Inc()
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			e.m.poolActive.Add(1)
+			defer e.m.poolActive.Add(-1)
 			h := rank.NewTopK(k)
 			for v := lo; v < hi; v++ {
 				if hin.NodeID(v) == u {
 					continue
 				}
-				if s := e.Query(u, hin.NodeID(v)); s > 0 {
+				if s := e.query(u, hin.NodeID(v)); s > 0 {
 					h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
 				}
 			}
@@ -275,15 +329,26 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 	}
 	wg.Wait()
 	h := rank.NewTopK(k)
+	pushes := 0
 	for _, local := range locals {
 		if local == nil {
 			continue
 		}
+		pushes += local.Pushes()
 		for _, s := range local.Sorted() {
 			h.Push(s)
 		}
 	}
+	e.finishTopK(t0, pushes)
 	return h.Sorted()
+}
+
+// finishTopK flushes the top-k instruments: the whole-search latency and
+// the number of nonzero candidates pushed into the accumulator(s).
+func (e *Estimator) finishTopK(t0 time.Time, candidates int) {
+	e.m.topkLat.ObserveSince(t0)
+	e.m.topks.Inc()
+	e.m.topkCands.Observe(float64(candidates))
 }
 
 // TopKSemBounded is TopK accelerated by Proposition 2.5 (sim(u,v) <=
@@ -294,6 +359,7 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 // the number of walk-coupling evaluations shrinks. The early-terminated
 // scan is inherently sequential, so this path does not use the pool.
 func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
+	t0 := e.m.topkLat.Start()
 	n := e.g.NumNodes()
 	type cand struct {
 		node hin.NodeID
@@ -318,12 +384,14 @@ func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
 			// Strict inequality: a candidate whose bound ties the k-th
 			// score could still displace it on the node-id tiebreak.
 			if kth, ok := h.Min(); ok && c.sem < kth.Score {
+				e.m.semBoundCut.Inc()
 				break // Prop 2.5: sim <= sem < current k-th best
 			}
 		}
-		if s := e.Query(u, c.node); s > 0 {
+		if s := e.query(u, c.node); s > 0 {
 			h.Push(rank.Scored{Node: c.node, Score: s})
 		}
 	}
+	e.finishTopK(t0, h.Pushes())
 	return h.Sorted()
 }

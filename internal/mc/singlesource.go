@@ -2,6 +2,7 @@ package mc
 
 import (
 	"sync"
+	"time"
 
 	"semsim/internal/hin"
 	"semsim/internal/rank"
@@ -17,8 +18,10 @@ import (
 // enumeration changes). Candidate groups are scored in parallel across
 // the worker pool; the output order and values match the serial scan.
 func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scored {
+	t0 := e.m.singleLat.Start()
 	cols := meet.Collisions(u)
 	if len(cols) == 0 {
+		e.finishSingleSource(t0, 0)
 		return nil
 	}
 	// Collisions arrive grouped by the colliding node; record the group
@@ -40,12 +43,20 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 	scoreGroup := func(g group) float64 {
 		semUV := e.sem.Sim(u, g.other)
 		if e.theta > 0 && semUV <= e.theta {
+			e.m.semSkips.Inc()
 			return 0
 		}
 		var total float64
+		var capped int64
 		for _, col := range cols[g.lo:g.hi] {
-			total += e.walkScore(u, g.other, int(col.Walk), col.Tau)
+			s, hitCap := e.walkScore(u, g.other, int(col.Walk), col.Tau)
+			if hitCap {
+				capped++
+			}
+			total += s
 		}
+		e.m.walksCoupled.Add(int64(g.hi - g.lo))
+		e.m.walkCaps.Add(capped)
 		score := semUV * total / nw
 		if score > 1 {
 			score = 1
@@ -71,8 +82,11 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 				break
 			}
 			wg.Add(1)
+			e.m.poolTasks.Inc()
 			go func(glo, ghi int) {
 				defer wg.Done()
+				e.m.poolActive.Add(1)
+				defer e.m.poolActive.Add(-1)
 				for i := glo; i < ghi; i++ {
 					scores[i] = scoreGroup(groups[i])
 				}
@@ -87,17 +101,30 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 			out = append(out, rank.Scored{Node: g.other, Score: scores[i]})
 		}
 	}
+	e.finishSingleSource(t0, len(groups))
 	return out
 }
 
+// finishSingleSource flushes the single-source instruments: whole-sweep
+// latency and the number of colliding candidate groups evaluated.
+func (e *Estimator) finishSingleSource(t0 time.Time, groups int) {
+	e.m.singleLat.ObserveSince(t0)
+	e.m.singles.Inc()
+	e.m.singleCands.Observe(float64(groups))
+}
+
 // TopKWithIndex is TopK over the single-source enumeration: only nodes
-// whose walks actually meet u's are scored.
+// whose walks actually meet u's are scored. It counts as both a
+// single-source sweep (the inner enumeration) and a top-k search in the
+// metrics.
 func (e *Estimator) TopKWithIndex(u hin.NodeID, k int, meet *walk.MeetIndex) []rank.Scored {
+	t0 := e.m.topkLat.Start()
 	h := rank.NewTopK(k)
 	for _, s := range e.SingleSource(u, meet) {
 		if s.Node != u {
 			h.Push(s)
 		}
 	}
+	e.finishTopK(t0, h.Pushes())
 	return h.Sorted()
 }

@@ -135,13 +135,46 @@ func (c *SOCache) Len() int {
 // overhead approximated at 2x).
 func (c *SOCache) MemoryBytes() int64 { return int64(c.Len()) * 32 }
 
-// Stats reports hit/miss counters aggregated over all shards.
-func (c *SOCache) Stats() (hits, misses int64) {
+// CacheSummary is a coherent one-pass aggregation of the cache's
+// counters: hits, misses, the derived hit ratio and the stored entry
+// count. HitRatio is hits/(hits+misses), 0 before any probe — consumers
+// should report this field rather than re-deriving the ratio from Hits
+// and Misses read at different times.
+type CacheSummary struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  int     `json:"entries"`
+}
+
+// Summary aggregates every shard once and returns the counters together
+// with the derived hit ratio. The counters are atomic, so the snapshot
+// is safe while queries are in flight; hits and misses are summed in the
+// same pass, keeping the ratio internally consistent.
+func (c *SOCache) Summary() CacheSummary {
+	var s CacheSummary
 	for i := range c.shards {
-		hits += c.shards[i].hits.Load()
-		misses += c.shards[i].misses.Load()
+		sh := &c.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		sh.mu.RLock()
+		s.Entries += len(sh.vals)
+		sh.mu.RUnlock()
 	}
-	return hits, misses
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// Stats reports hit/miss counters aggregated over all shards.
+//
+// Deprecated: use Summary, which aggregates once and carries the derived
+// hit ratio, instead of dividing these counters yourself (two separate
+// Stats reads can interleave with live traffic and skew the ratio).
+func (c *SOCache) Stats() (hits, misses int64) {
+	s := c.Summary()
+	return s.Hits, s.Misses
 }
 
 // ShardStats reports per-stripe entry counts and hit/miss counters, for

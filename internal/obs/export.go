@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// JSON-marshalable as-is. GaugeFunc values are evaluated at snapshot
+// time.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies all instruments. On a nil registry it returns an
+// empty (but non-nil-mapped) snapshot so callers can index it safely.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	type gf struct {
+		name string
+		fn   func() float64
+	}
+	var funcs []gf
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = float64(g.Value())
+	}
+	for name, fn := range r.gaugeFuncs {
+		funcs = append(funcs, gf{name, fn})
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	r.mu.Unlock()
+	// Evaluate gauge functions outside the registration lock: they may
+	// call back into subsystems (cache shard scans) that must not nest
+	// under it.
+	for _, f := range funcs {
+		s.Gauges[f.name] = f.fn()
+	}
+	return s
+}
+
+// WriteText writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, histogram _bucket
+// series with le labels plus _sum and _count. Output is sorted by
+// metric name so scrapes diff cleanly. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	kind := map[string]byte{}
+	for n := range s.Counters {
+		names, kind[n] = append(names, n), 'c'
+	}
+	for n := range s.Gauges {
+		names, kind[n] = append(names, n), 'g'
+	}
+	for n := range s.Histograms {
+		names, kind[n] = append(names, n), 'h'
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		if h := help[n]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, h)
+		}
+		switch kind[n] {
+		case 'c':
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+		case 'g':
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(s.Gauges[n]))
+		case 'h':
+			hs := s.Histograms[n]
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+			for _, bk := range hs.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.LE, 1) {
+					le = formatFloat(bk.LE)
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, le, bk.CumCount)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(hs.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", n, hs.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PublishExpvar publishes the registry's live snapshot under the given
+// expvar name, making it visible at /debug/vars. expvar names are
+// process-global and permanent, so publishing is guarded: the first
+// call under a fresh name wins, later calls for an already-taken name
+// are ignored (expvar offers no unpublish). No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	already := r.published
+	r.published = true
+	r.mu.Unlock()
+	if already || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,416 @@
+// Package obs is the stdlib-only observability core of the semsim query
+// engine: lock-free counters, gauges and fixed-bucket latency histograms
+// collected in a Registry, plus a lightweight phase/span trace API
+// (trace.go) and three export surfaces (export.go) — a structured
+// Snapshot for the Go API, a Prometheus-style text exposition for
+// /metrics, and expvar publication for /debug/vars.
+//
+// # Design constraints
+//
+// The instruments sit on the engine's hot path (single-pair Query is
+// sub-microsecond on cached indexes), so they obey two rules:
+//
+//   - Zero allocation per observation. Counters and gauges are a single
+//     atomic add; a histogram observation is a binary search over a
+//     small immutable bound slice plus two atomic adds (the float sum
+//     uses a CAS loop that only spins under contention).
+//
+//   - Nil is off. Every instrument method is a no-op on a nil receiver,
+//     and a nil *Registry hands out nil instruments, so engine code
+//     holds plain instrument pointers and pays one predictable branch
+//     when metrics are disabled — no interface dispatch, no wrapper
+//     types, no conditional wiring at call sites.
+//
+// Registration (Registry.Counter, .Gauge, .GaugeFunc, .Histogram) takes
+// a mutex and is idempotent by name; it happens at index-build time,
+// never per query.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter ignores all writes.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be >= 0 for the exposition types to stay honest).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (e.g. active workers, queue
+// depth). The zero value is ready; a nil *Gauge ignores all writes.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets defined by ascending
+// upper bounds, with an implicit +Inf overflow bucket, and tracks the
+// running sum and count. Percentile snapshots (p50/p95/p99) are linearly
+// interpolated within buckets. A nil *Histogram ignores observations.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds (le); +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// newHistogram builds a histogram over the given bounds (copied, sorted,
+// deduplicated). Empty bounds default to LatencyBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	dst := b[:1]
+	for _, v := range b[1:] {
+		if v != dst[len(dst)-1] {
+			dst = append(dst, v)
+		}
+	}
+	b = dst
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LatencyBuckets is the default bound set for duration observations in
+// seconds: a 1-2.5-5 decade ladder from 250ns to 10s, fine enough to
+// separate a cache-hit query from a cache-miss one and an in-memory
+// TopK from a full single-source sweep.
+var LatencyBuckets = []float64{
+	250e-9, 500e-9,
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// CountBuckets is a bound set for size-like observations (candidate
+// counts, batch sizes): a 1-2-5 ladder from 1 to 1e6.
+var CountBuckets = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000, 1e6,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// sort.SearchFloat64s is the first bucket with bound >= v, i.e. the
+	// smallest le-bucket that contains v; equal-to-bound lands in the
+	// bucket labeled by that bound (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Start returns a start timestamp for ObserveSince, or the zero time
+// when the histogram is nil — letting hot paths skip the time.Now call
+// entirely when metrics are off:
+//
+//	t0 := h.Start()
+//	... work ...
+//	h.ObserveSince(t0)
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records time.Since(t0) in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshot copies the bucket counts, count and sum. Buckets are read
+// individually; if observations race the snapshot the per-bucket counts
+// remain internally exact (each is atomic) and total/sum converge on the
+// next scrape — the standard scrape-consistency contract.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{LE: le, CumCount: cum}
+	}
+	s.Count = cum
+	s.Sum = math.Float64frombits(h.sum.Load())
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Bucket is one cumulative histogram bucket: CumCount observations were
+// <= LE. The JSON form writes le as a string ("+Inf" for the overflow
+// bucket) because encoding/json cannot represent infinities as numbers.
+type Bucket struct {
+	LE       float64 `json:"le"`
+	CumCount int64   `json:"count"`
+}
+
+// MarshalJSON renders {"le":"<bound>","count":N} with le stringified so
+// the +Inf overflow bucket survives encoding (expvar publishes snapshots
+// through encoding/json, which rejects infinite floats).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.CumCount)), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bad bucket bound %q: %w", raw.LE, err)
+		}
+		b.LE = v
+	}
+	b.CumCount = raw.Count
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with derived
+// percentiles.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket. Returns 0 for an empty histogram; an
+// estimate that lands in the +Inf bucket is clamped to the largest
+// finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Buckets {
+		if float64(b.CumCount) >= rank {
+			if math.IsInf(b.LE, 1) {
+				// Overflow bucket: no upper bound to interpolate
+				// toward; report the largest finite bound.
+				if i > 0 {
+					return s.Buckets[i-1].LE
+				}
+				return 0
+			}
+			lo, cumLo := 0.0, int64(0)
+			if i > 0 {
+				lo, cumLo = s.Buckets[i-1].LE, s.Buckets[i-1].CumCount
+			}
+			width := float64(b.CumCount - cumLo)
+			if width == 0 {
+				return b.LE
+			}
+			return lo + (b.LE-lo)*(rank-float64(cumLo))/width
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].LE
+}
+
+// Registry holds named instruments. Registration is mutex-guarded and
+// idempotent; reads (Snapshot, WriteText) take the same mutex briefly to
+// copy the name tables, never blocking observations. A nil *Registry is
+// the disabled state: its getters return nil instruments and its export
+// methods emit empty output.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	histograms map[string]*Histogram
+	help       map[string]string
+	published  bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at export
+// time — zero hot-path cost, ideal for values another subsystem already
+// tracks (cache hit ratios, entry counts). Re-registering a name
+// replaces the function. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+	r.help[name] = help
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (nil bounds =
+// LatencyBuckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+		r.help[name] = help
+	}
+	return h
+}

@@ -25,8 +25,9 @@ type Scored struct {
 // NewTopK. A TopK is not safe for concurrent use; parallel scorers keep
 // one per goroutine and merge.
 type TopK struct {
-	k int
-	h minHeap
+	k      int
+	pushes int
+	h      minHeap
 }
 
 // better reports whether a outranks b under the total order
@@ -44,6 +45,7 @@ func NewTopK(k int) *TopK { return &TopK{k: k} }
 
 // Push offers an entry.
 func (t *TopK) Push(s Scored) {
+	t.pushes++
 	if t.k > 0 && len(t.h) == t.k {
 		if !better(s, t.h[0]) {
 			return
@@ -57,6 +59,11 @@ func (t *TopK) Push(s Scored) {
 
 // Len reports how many entries are held.
 func (t *TopK) Len() int { return len(t.h) }
+
+// Pushes reports how many entries were offered over the accumulator's
+// lifetime (held or displaced) — the candidate-count signal the scoring
+// paths feed into the observability layer. Surviving Sorted.
+func (t *TopK) Pushes() int { return t.pushes }
 
 // Min returns the lowest-scoring held entry (the k-th best when the
 // accumulator is full); ok is false when empty.

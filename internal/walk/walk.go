@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"semsim/internal/hin"
+	"semsim/internal/obs"
 )
 
 // Stop marks a terminated walk position (the walk reached a node with no
@@ -46,6 +47,10 @@ type Options struct {
 	// Parallel enables sharded building across CPUs; determinism is
 	// preserved because every (node, walk) pair has its own RNG stream.
 	Parallel bool
+	// Metrics, when non-nil, records the sampling phase into the
+	// registry: semsim_walk_build_seconds, semsim_walks_sampled_total
+	// and the semsim_walk_index_bytes gauge. Nil disables (no cost).
+	Metrics *obs.Registry
 }
 
 // DefaultNumWalks and DefaultLength are the paper's parameter settings
@@ -73,6 +78,9 @@ func Build(g *hin.Graph, opts Options) (*Index, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
+	buildLat := opts.Metrics.Histogram("semsim_walk_build_seconds",
+		"wall time of one walk-sampling pass", nil)
+	t0 := buildLat.Start()
 	n := g.NumNodes()
 	ix := &Index{
 		g:      g,
@@ -118,6 +126,11 @@ func Build(g *hin.Graph, opts Options) (*Index, error) {
 	} else {
 		sample(0, n)
 	}
+	buildLat.ObserveSince(t0)
+	opts.Metrics.Counter("semsim_walks_sampled_total",
+		"random walks drawn across all index builds").Add(int64(n) * int64(ix.nw))
+	opts.Metrics.Gauge("semsim_walk_index_bytes",
+		"storage of the most recently built walk index").Set(ix.MemoryBytes())
 	return ix, nil
 }
 

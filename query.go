@@ -46,6 +46,23 @@ type IndexOptions struct {
 	// Workers sizes the scoring pool used by TopK, SingleSource and
 	// BatchQuery. 0 uses runtime.NumCPU(); 1 forces serial scoring.
 	Workers int
+	// Metrics, when non-nil, attaches the observability layer: build
+	// phases, query/top-k/single-source/batch latency histograms,
+	// theta-pruning counters, pool gauges and SLING-cache statistics
+	// all register into this registry (create one with NewMetrics;
+	// read it with Index.Snapshot, Metrics.WriteText or expvar). When
+	// nil — the default — every instrument compiles down to a nil
+	// no-op: the hot path performs no atomic writes and allocates
+	// nothing on its behalf.
+	Metrics *Metrics
+	// Trace, when non-nil, records BuildIndex's phases (walk sampling,
+	// SLING cache init/warm, meet-index pass) as timed spans.
+	Trace *Trace
+	// WarmCache eagerly precomputes the SLING cache (the paper's
+	// offline SLING build) instead of filling it lazily. Requires
+	// SLINGCutoff > 0; the warm pass is timed into
+	// semsim_build_cache_warm_seconds and the cache-warm trace span.
+	WarmCache bool
 }
 
 // Index answers single-pair and top-k SemSim queries in O(n_w * t * d^2)
@@ -58,33 +75,70 @@ type IndexOptions struct {
 // identical to serial ones. Only construction (BuildIndex / LoadIndex)
 // and SaveWalks are single-threaded operations.
 type Index struct {
-	walks *walk.Index
-	est   *mc.Estimator
-	srmc  *simrank.MC
-	cache *mc.SOCache
-	meet  *walk.MeetIndex
+	walks   *walk.Index
+	est     *mc.Estimator
+	srmc    *simrank.MC
+	cache   *mc.SOCache
+	meet    *walk.MeetIndex
+	metrics *Metrics
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
-// importance-sampling estimator for sem.
+// importance-sampling estimator for sem. With opts.Metrics set, each
+// phase is timed into the registry; with opts.Trace set, the phases are
+// additionally recorded as trace spans.
 func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	if opts.C == 0 {
 		opts.C = 0.6
 	}
+	buildLat := opts.Metrics.Histogram("semsim_build_seconds",
+		"end-to-end BuildIndex wall time", nil)
+	t0 := buildLat.Start()
+
+	sp := opts.Trace.Start("walk-sample")
 	ix, err := walk.Build(g, walk.Options{
 		NumWalks: opts.NumWalks,
 		Length:   opts.WalkLength,
 		Seed:     opts.Seed,
 		Parallel: opts.Parallel,
+		Metrics:  opts.Metrics,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	idx, err := assemble(g, sem, ix, opts)
+	if err != nil {
+		return nil, err
+	}
+	buildLat.ObserveSince(t0)
+	return idx, nil
+}
+
+// assemble wires the estimator stack (SLING cache, importance-sampling
+// estimator, SimRank twin, meet index) around an existing walk index —
+// the shared tail of BuildIndex and LoadIndex, with per-phase metrics
+// and trace spans.
+func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index, error) {
 	var cache *mc.SOCache
 	if opts.SLINGCutoff > 0 {
+		sp := opts.Trace.Start("sling-cache-init")
 		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
+		sp.End()
+		if opts.WarmCache {
+			warmLat := opts.Metrics.Histogram("semsim_build_cache_warm_seconds",
+				"wall time of the eager SLING cache precomputation", nil)
+			sp = opts.Trace.Start("sling-cache-warm")
+			tw := warmLat.Start()
+			cache.Precompute()
+			warmLat.ObserveSince(tw)
+			sp.End()
+		}
 	}
-	est, err := mc.New(ix, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache, Workers: opts.Workers})
+	est, err := mc.New(ix, sem, mc.Options{
+		C: opts.C, Theta: opts.Theta, Cache: cache,
+		Workers: opts.Workers, Metrics: opts.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -92,9 +146,15 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache}
+	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics}
 	if opts.MeetIndex {
+		meetLat := opts.Metrics.Histogram("semsim_build_meet_index_seconds",
+			"wall time of the inverted meet-index pass", nil)
+		sp := opts.Trace.Start("meet-index")
+		tm := meetLat.Start()
 		idx.meet = walk.BuildMeetIndex(ix)
+		meetLat.ObserveSince(tm)
+		sp.End()
 	}
 	return idx, nil
 }
@@ -146,14 +206,42 @@ func (ix *Index) BatchQuery(pairs [][2]NodeID, workers int) ([]float64, error) {
 // (the Fogaras–Rácz estimator) — useful for side-by-side comparisons.
 func (ix *Index) SimRankQuery(u, v NodeID) float64 { return ix.srmc.Query(u, v) }
 
-// CacheStats reports the SLING cache's aggregate hit/miss counters
-// (zeros when the cache is disabled). The counters are atomic, so the
-// snapshot is safe to take while queries are in flight.
-func (ix *Index) CacheStats() (hits, misses int64) {
+// CacheSummary aggregates the SLING cache's hit/miss counters, derived
+// hit ratio and entry count in one coherent pass (the zero value when
+// the cache is disabled). The counters are atomic, so the snapshot is
+// safe to take while queries are in flight.
+func (ix *Index) CacheSummary() CacheSummary {
 	if ix.cache == nil {
-		return 0, 0
+		return CacheSummary{}
 	}
-	return ix.cache.Stats()
+	return ix.cache.Summary()
+}
+
+// CacheStats reports the SLING cache's aggregate hit/miss counters
+// (zeros when the cache is disabled).
+//
+// Deprecated: use CacheSummary, which also carries the derived hit
+// ratio — dividing two separately read counters under live traffic
+// skews the ratio.
+func (ix *Index) CacheStats() (hits, misses int64) {
+	s := ix.CacheSummary()
+	return s.Hits, s.Misses
+}
+
+// Snapshot copies every metric the index has recorded — counters,
+// gauges (including the live SLING-cache statistics) and histogram
+// snapshots with p50/p95/p99 — as one JSON-marshalable value. It is
+// safe to call while queries are in flight. When the index was built
+// without IndexOptions.Metrics the snapshot is empty but non-nil.
+func (ix *Index) Snapshot() MetricsSnapshot {
+	return ix.metrics.Snapshot()
+}
+
+// Metrics returns the registry the index was built with, or nil when
+// observability is disabled — hand it to an HTTP handler for /metrics
+// text exposition (Metrics.WriteText) or publish it via expvar.
+func (ix *Index) Metrics() *Metrics {
+	return ix.metrics
 }
 
 // SaveWalks persists the precomputed walk index; LoadIndex restores it
@@ -170,26 +258,20 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 	if opts.C == 0 {
 		opts.C = 0.6
 	}
+	buildLat := opts.Metrics.Histogram("semsim_build_seconds",
+		"end-to-end BuildIndex wall time", nil)
+	t0 := buildLat.Start()
+	sp := opts.Trace.Start("load-walks")
 	walks, err := walk.Load(r, g)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	var cache *mc.SOCache
-	if opts.SLINGCutoff > 0 {
-		cache = mc.NewSOCache(g, sem, opts.SLINGCutoff)
-	}
-	est, err := mc.New(walks, sem, mc.Options{C: opts.C, Theta: opts.Theta, Cache: cache, Workers: opts.Workers})
+	idx, err := assemble(g, sem, walks, opts)
 	if err != nil {
 		return nil, err
 	}
-	srmc, err := simrank.NewMC(walks, opts.C)
-	if err != nil {
-		return nil, err
-	}
-	idx := &Index{walks: walks, est: est, srmc: srmc, cache: cache}
-	if opts.MeetIndex {
-		idx.meet = walk.BuildMeetIndex(walks)
-	}
+	buildLat.ObserveSince(t0)
 	return idx, nil
 }
 

@@ -46,6 +46,8 @@ import (
 
 	"semsim/internal/core"
 	"semsim/internal/hin"
+	"semsim/internal/mc"
+	"semsim/internal/obs"
 	"semsim/internal/semantic"
 	"semsim/internal/simmat"
 	"semsim/internal/simrank"
@@ -163,3 +165,39 @@ type PRankOptions = simrank.PRankOptions
 func PRank(g *Graph, opts PRankOptions) (*SimRankResult, error) {
 	return simrank.PRank(g, opts)
 }
+
+// Metrics is the engine's observability registry (see internal/obs):
+// lock-free counters, gauges and fixed-bucket latency histograms that
+// the index's hot paths record into when IndexOptions.Metrics is set.
+// Export it with Snapshot (structured), WriteText (Prometheus text
+// exposition for a /metrics endpoint) or PublishExpvar (/debug/vars).
+// A nil *Metrics disables all instrumentation at zero cost.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty registry to pass as IndexOptions.Metrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time, JSON-marshalable copy of every
+// instrument (Index.Snapshot / Metrics.Snapshot).
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is one histogram's snapshot: count, sum, cumulative
+// buckets and interpolated p50/p95/p99.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Trace records named timed spans for one operation — pass it as
+// IndexOptions.Trace for a per-phase build breakdown, or wrap your own
+// phases with Trace.Start/Span.End; String renders the aligned report.
+// A nil *Trace ignores all calls.
+type Trace = obs.Trace
+
+// TraceSpan is one finished trace span (name, start offset, duration).
+type TraceSpan = obs.SpanRecord
+
+// NewTrace starts an empty trace.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// CacheSummary is the SLING SO-cache's coherent statistics snapshot:
+// hits, misses, the derived hit ratio and stored entries
+// (Index.CacheSummary).
+type CacheSummary = mc.CacheSummary
