@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-seed fuzz bench bench-json ci
+.PHONY: all build test vet race fuzz-seed fuzz bench bench-json bench-drift ci
 
 all: build
 
@@ -41,7 +41,15 @@ bench:
 # file across commits to catch regressions).
 BENCH_JSON_REGEXP ?= BenchmarkQuery|BenchmarkTopK|BenchmarkSingleSource|BenchmarkBatch
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_query.json -bench '$(BENCH_JSON_REGEXP)'
+	$(GO) run ./cmd/benchjson -out BENCH_query.json -bench '$(BENCH_JSON_REGEXP)' -count 3 -benchtime 0.2s
+
+# Bench drift guard (ci.sh tier 4): reruns the hot-path benchmarks and
+# fails if any regressed >25% ns/op against the committed baseline.
+# Minimum across -count reps on both sides damps scheduler noise; the
+# baseline itself stays untouched (refresh it with `make bench-json`
+# after an intentional perf change).
+bench-drift:
+	$(GO) run ./cmd/benchjson -compare BENCH_query.json -bench '$(BENCH_JSON_REGEXP)' -count 3 -benchtime 0.2s
 
 ci:
 	./ci.sh

@@ -495,6 +495,40 @@ func BenchmarkBatchQuerySharedCache(b *testing.B) {
 	}
 }
 
+// planIndexCache is built lazily on top of the shared dataset: meet
+// index plus the adaptive planner, for comparing planner-routed top-k
+// against the caller-chosen variants above.
+var planIndexCache *semsim.Index
+
+func planIndex(b *testing.B) (*semsim.Index, int) {
+	b.Helper()
+	e := env(b)
+	if planIndexCache == nil {
+		idx, err := semsim.BuildIndex(e.d.Graph, e.d.Lin, semsim.IndexOptions{
+			NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
+			MeetIndex: true, AutoPlan: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		planIndexCache = idx
+	}
+	return planIndexCache, e.d.Graph.NumNodes()
+}
+
+// BenchmarkTopK10AutoPlan measures top-10 search with the adaptive
+// planner choosing the strategy per query; compare against
+// BenchmarkTopK10 (brute), BenchmarkTopK10MeetIndex (collision) and
+// BenchmarkTopK10SemBounded (sem-bounded) to see the routing overhead
+// (it should be within noise of whichever strategy the planner picks).
+func BenchmarkTopK10AutoPlan(b *testing.B) {
+	idx, n := planIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.TopK(hin.NodeID(i*7%n), 10)
+	}
+}
+
 // BenchmarkIndexRefresh measures incremental walk maintenance after a
 // single-node in-neighborhood change.
 func BenchmarkIndexRefresh(b *testing.B) {

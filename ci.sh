@@ -9,6 +9,9 @@
 #      Index and assert bit-identical results vs serial runs; includes
 #      the internal/obs concurrent-instrument tests)
 #   3. fuzz seed corpora as unit tests      (IO robustness regression)
+#   4. bench drift guard                    (perf regression — reruns
+#      the hot-path benchmarks and fails if any is >25% ns/op slower
+#      than the committed BENCH_query.json baseline)
 #
 # Usage: ./ci.sh   (or: make ci)
 set -eu
@@ -33,5 +36,8 @@ go test -race ./internal/obs/
 
 echo "==> tier 3: fuzz seed corpora"
 go test ./internal/walk/ -run Fuzz
+
+echo "==> tier 4: bench drift guard (hot paths vs BENCH_query.json)"
+make bench-drift
 
 echo "==> ci: all tiers green"

@@ -12,6 +12,14 @@
 // Entries carry ns/op, B/op and allocs/op per benchmark plus run
 // metadata (Go version, GOMAXPROCS, timestamp, git commit when
 // available).
+//
+// With -compare BASELINE.json the run becomes a drift guard: fresh
+// results are checked against the stored baseline and the process exits
+// nonzero if any benchmark present in both regressed by more than
+// -max-regress (default 0.25, i.e. +25% ns/op). To damp scheduler
+// noise, pass -count N and the minimum ns/op across repetitions is
+// compared. In compare mode the baseline is left untouched unless -out
+// is also given explicitly.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,16 +61,23 @@ type Report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_query.json", "output JSON path")
-		bench = flag.String("bench", "BenchmarkQuery|BenchmarkTopK|BenchmarkSingleSource|BenchmarkBatch", "benchmark regexp passed to -bench")
-		pkg   = flag.String("pkg", ".", "package to benchmark")
-		count = flag.Int("count", 1, "benchmark repetitions (-count)")
+		out        = flag.String("out", "BENCH_query.json", "output JSON path")
+		bench      = flag.String("bench", "BenchmarkQuery|BenchmarkTopK|BenchmarkSingleSource|BenchmarkBatch", "benchmark regexp passed to -bench")
+		pkg        = flag.String("pkg", ".", "package to benchmark")
+		count      = flag.Int("count", 1, "benchmark repetitions (-count)")
+		benchtime  = flag.String("benchtime", "", "per-benchmark budget passed to -benchtime (e.g. 0.2s, 100x)")
+		compare    = flag.String("compare", "", "baseline JSON to compare against; exit 1 on regression")
+		maxRegress = flag.Float64("max-regress", 0.25, "max tolerated ns/op regression vs the baseline (0.25 = +25%)")
 	)
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$",
 		"-bench", *bench, "-benchmem",
-		"-count", strconv.Itoa(*count), *pkg}
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
 	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
@@ -74,6 +90,35 @@ func main() {
 	results := parseBench(buf.String())
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines matched %q — output was:\n%s", *bench, buf.String()))
+	}
+
+	var regressions []string
+	if *compare != "" {
+		baseline, err := loadReport(*compare)
+		if err != nil {
+			fatal(fmt.Errorf("loading baseline: %w", err))
+		}
+		regressions = findRegressions(baseline.Benchmarks, results, *maxRegress)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson:", r)
+		}
+		// In compare mode the baseline stays untouched unless the caller
+		// explicitly asked for a fresh -out.
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			if len(regressions) > 0 {
+				fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s",
+					len(regressions), *maxRegress*100, *compare))
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+				len(minNsByName(results)), *maxRegress*100, *compare)
+			return
+		}
 	}
 
 	report := Report{
@@ -96,6 +141,68 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	if len(regressions) > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s",
+			len(regressions), *maxRegress*100, *compare))
+	}
+}
+
+// loadReport reads a previously emitted baseline document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: baseline holds no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// minNsByName collapses -count repetitions to the minimum ns/op per
+// benchmark name — the repetition least disturbed by scheduler noise,
+// the standard way to compare benchmark runs.
+func minNsByName(results []Result) map[string]float64 {
+	min := map[string]float64{}
+	for _, r := range results {
+		if v, ok := min[r.Name]; !ok || r.NsPerOp < v {
+			min[r.Name] = r.NsPerOp
+		}
+	}
+	return min
+}
+
+// findRegressions compares fresh results against a baseline by minimum
+// ns/op and describes every benchmark that slowed down by more than
+// maxRegress (a fraction: 0.25 means +25%). Benchmarks present on only
+// one side are skipped — renames and new benchmarks must not fail the
+// guard.
+func findRegressions(baseline, current []Result, maxRegress float64) []string {
+	base := minNsByName(baseline)
+	cur := minNsByName(current)
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		if b <= 0 {
+			continue
+		}
+		if ratio := c / b; ratio > 1+maxRegress {
+			out = append(out, fmt.Sprintf("REGRESSION %s: %.0f ns/op -> %.0f ns/op (%+.0f%%)",
+				name, b, c, (ratio-1)*100))
+		}
+	}
+	return out
 }
 
 // parseBench extracts benchmark result lines from `go test -bench`

@@ -9,16 +9,20 @@
 //	semsim serve  -graph g.hin -debug-addr :6060       (resident HTTP server, see serve.go)
 //
 // Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
-// node, -t walk length, -sling SO-cache cutoff, -seed. The walk index can
-// be persisted across runs with -save-walks FILE / -load-walks FILE.
-// serve additionally takes -debug-addr (required) and -warmup, and
-// mounts /metrics, /debug/vars and /debug/pprof/ next to the query API.
+// node, -t walk length, -sling SO-cache cutoff, -seed, -backend engine
+// backend (mc|reduced|exact), -autoplan adaptive top-k planning. The
+// walk index can be persisted across runs with -save-walks FILE /
+// -load-walks FILE. serve additionally takes -debug-addr (required) and
+// -warmup, mounts /metrics, /debug/vars and /debug/pprof/ next to the
+// query API, and shuts down gracefully on SIGINT/SIGTERM (in-flight
+// requests drain, a final metrics snapshot is logged).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"semsim"
 )
@@ -45,6 +49,8 @@ func main() {
 		seed      = fs.Int64("seed", 1, "random seed")
 		saveWalks = fs.String("save-walks", "", "persist the walk index to this file after building")
 		loadWalks = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
+		backend   = fs.String("backend", "mc", "engine backend: "+strings.Join(semsim.Backends(), "|"))
+		autoplan  = fs.Bool("autoplan", false, "let the adaptive planner pick the top-k strategy per query")
 		debugAddr = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
 		warmup    = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
 	)
@@ -79,6 +85,7 @@ func main() {
 			NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
 			SLINGCutoff: *sling, Seed: *seed, Parallel: true,
 			MeetIndex: meetIndex,
+			Backend:   *backend, AutoPlan: *autoplan,
 		}
 		var idx *semsim.Index
 		var err error
@@ -160,6 +167,7 @@ func main() {
 			opts: semsim.IndexOptions{
 				NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
 				SLINGCutoff: *sling, Seed: *seed, Parallel: true,
+				Backend: *backend, AutoPlan: *autoplan,
 			},
 		}, nil)
 		if err != nil {

@@ -3,7 +3,7 @@ package main
 // The serve subcommand keeps a built index resident and exposes it over
 // HTTP together with the full observability surface:
 //
-//	semsim serve -graph g.hin -debug-addr :6060 [index flags]
+//	semsim serve -graph g.hin -debug-addr :6060
 //
 //	/query?u=NAME&v=NAME   similarity of one pair (JSON)
 //	/topk?u=NAME&k=10      top-k most similar nodes (JSON)
@@ -14,17 +14,30 @@ package main
 //	/healthz               liveness probe
 //
 // Startup runs -warmup queries (default 4) so the latency histograms
-// and cache statistics are populated before the first scrape.
+// and cache statistics are populated before the first scrape. The
+// server always builds the meet index and attaches the adaptive query
+// planner, so /metrics carries the semsim_plan_total{strategy="..."}
+// decision counters.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops the listener, in-flight
+// requests get shutdownTimeout (default 5s) to drain via
+// http.Server.Shutdown, and a final metrics snapshot is logged before
+// the process exits.
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"semsim"
 )
@@ -35,18 +48,32 @@ type serveConfig struct {
 	debugAddr string
 	warmup    int
 	opts      semsim.IndexOptions
+	// stop, when non-nil, replaces the SIGINT/SIGTERM trap — closing it
+	// initiates the same graceful shutdown (used by tests).
+	stop <-chan struct{}
+	// shutdownTimeout bounds the in-flight request drain (default 5s).
+	shutdownTimeout time.Duration
+	// logw receives the startup trace and the final shutdown snapshot
+	// (default os.Stderr).
+	logw io.Writer
 }
 
 // runServe builds the instrumented index, warms it, and serves until
-// the listener fails. When ready is non-nil the bound address is sent
-// on it once the listener is up (used by the CI smoke test to serve on
-// 127.0.0.1:0).
+// the listener fails or a shutdown signal arrives; on a signal it
+// drains in-flight requests, logs a final metrics snapshot and returns
+// nil. When ready is non-nil the bound address is sent on it once the
+// listener is up (used by the CI smoke test to serve on 127.0.0.1:0).
 func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<- string) error {
+	logw := cfg.logw
+	if logw == nil {
+		logw = os.Stderr
+	}
 	reg := semsim.NewMetrics()
 	tr := semsim.NewTrace("serve-startup")
 	cfg.opts.Metrics = reg
 	cfg.opts.Trace = tr
 	cfg.opts.MeetIndex = true
+	cfg.opts.AutoPlan = true
 
 	idx, err := semsim.BuildIndex(g, sem, cfg.opts)
 	if err != nil {
@@ -64,7 +91,7 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	if n > 1 {
 		idx.TopK(0, 5)
 	}
-	fmt.Fprint(os.Stderr, tr.String())
+	fmt.Fprint(logw, tr.String())
 
 	reg.PublishExpvar("semsim")
 	mux := newServeMux(g, sem, idx, reg)
@@ -73,12 +100,55 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "semsim: serving on http://%s (metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n",
-		l.Addr())
+	fmt.Fprintf(logw, "semsim: serving on http://%s (backend %s, metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n",
+		l.Addr(), idx.Backend())
 	if ready != nil {
 		ready <- l.Addr().String()
 	}
-	return http.Serve(l, mux)
+
+	// Graceful shutdown: a stop signal closes the listener, drains
+	// in-flight requests for up to shutdownTimeout, then logs the final
+	// metrics snapshot so the last scrape interval is never lost.
+	stop := cfg.stop
+	if stop == nil {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		stop = ctx.Done()
+	}
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	timeout := cfg.shutdownTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	fmt.Fprintf(logw, "semsim: shutdown signal received, draining for up to %s\n", timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	logFinalSnapshot(logw, idx)
+	return shutdownErr
+}
+
+// logFinalSnapshot writes a one-line summary plus the full structured
+// metrics snapshot, so the traffic served since the last scrape is
+// preserved in the process log.
+func logFinalSnapshot(w io.Writer, idx *semsim.Index) {
+	snap := idx.Snapshot()
+	cache := idx.CacheSummary()
+	fmt.Fprintf(w, "semsim: final snapshot: %d queries, %d top-k searches, cache %.0f%% hits (%d entries)\n",
+		snap.Counters["semsim_queries_total"],
+		snap.Counters["semsim_topk_total"],
+		100*cache.HitRatio, cache.Entries)
+	if data, err := json.Marshal(snap); err == nil {
+		fmt.Fprintf(w, "semsim: final metrics snapshot: %s\n", data)
+	}
 }
 
 // newServeMux mounts the query API and the three debug surfaces.

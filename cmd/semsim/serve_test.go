@@ -6,6 +6,7 @@ package main
 // core series are populated.
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -58,6 +59,8 @@ func smokeGraph(t *testing.T) (*semsim.Graph, semsim.Measure) {
 
 func TestServeSmoke(t *testing.T) {
 	g, lin := smokeGraph(t)
+	stop := make(chan struct{})
+	var logbuf bytes.Buffer
 	cfg := serveConfig{
 		debugAddr: "127.0.0.1:0",
 		warmup:    8,
@@ -65,6 +68,8 @@ func TestServeSmoke(t *testing.T) {
 			NumWalks: 80, WalkLength: 8, C: 0.6, Theta: 0.05,
 			SLINGCutoff: 0.1, Seed: 1,
 		},
+		stop: stop,
+		logw: &logbuf,
 	}
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
@@ -121,6 +126,10 @@ func TestServeSmoke(t *testing.T) {
 		"semsim_theta_sem_skips_total",
 		"semsim_theta_walk_caps_total",
 		"semsim_walks_coupled_total",
+		"semsim_build_backend_seconds_count",
+		`semsim_plan_total{strategy="brute"}`,
+		`semsim_plan_total{strategy="sem-bounded"}`,
+		`semsim_plan_total{strategy="collision"}`,
 	} {
 		if !strings.Contains(metrics, series) {
 			t.Errorf("/metrics missing core series %s", series)
@@ -132,6 +141,20 @@ func TestServeSmoke(t *testing.T) {
 		if strings.Contains(metrics, zero) {
 			t.Errorf("/metrics series unexpectedly zero after warm-up: %s", strings.TrimSpace(zero))
 		}
+	}
+	// The labeled plan counters share one metric family: exactly one
+	// TYPE header, and at least one strategy chosen by the warm-up top-k.
+	if n := strings.Count(metrics, "# TYPE semsim_plan_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE header for semsim_plan_total, got %d", n)
+	}
+	planned := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "semsim_plan_total{") && !strings.HasSuffix(line, " 0") {
+			planned = true
+		}
+	}
+	if !planned {
+		t.Error("/metrics shows no planner decisions after warm-up top-k traffic")
 	}
 
 	vars := get("/debug/vars")
@@ -158,5 +181,90 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if h, ok := s.Histograms["semsim_query_seconds"]; !ok || h.Count == 0 {
 		t.Error("/snapshot query latency histogram empty")
+	}
+	var planTotal int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "semsim_plan_total{") {
+			planTotal += v
+		}
+	}
+	if planTotal == 0 {
+		t.Error("/snapshot shows no planner strategy decisions")
+	}
+
+	// Graceful shutdown: closing the stop channel must drain and return
+	// nil, logging a final snapshot of the traffic served.
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down within 30s of stop")
+	}
+	log := logbuf.String()
+	if !strings.Contains(log, "final metrics snapshot") {
+		t.Errorf("shutdown log missing final metrics snapshot:\n%s", log)
+	}
+}
+
+// TestServeGracefulShutdown drives the stop path end to end: traffic is
+// served, the stop signal arrives, the server drains and returns nil,
+// and the log carries the drain notice plus the final snapshot with the
+// served traffic accounted for.
+func TestServeGracefulShutdown(t *testing.T) {
+	g, lin := smokeGraph(t)
+	stop := make(chan struct{})
+	var logbuf bytes.Buffer
+	cfg := serveConfig{
+		debugAddr: "127.0.0.1:0",
+		warmup:    2,
+		opts: semsim.IndexOptions{
+			NumWalks: 40, WalkLength: 6, C: 0.6, Theta: 0.05,
+			SLINGCutoff: 0.1, Seed: 1,
+		},
+		stop:            stop,
+		shutdownTimeout: 10 * time.Second,
+		logw:            &logbuf,
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- runServe(g, lin, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not come up within 30s")
+	}
+
+	// Serve one real request, then signal shutdown.
+	resp, err := http.Get("http://" + addr + "/query?u=ada&v=eve")
+	if err != nil {
+		t.Fatalf("query before shutdown: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query before shutdown: status %d", resp.StatusCode)
+	}
+	close(stop)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down within 30s of stop")
+	}
+	log := logbuf.String()
+	for _, want := range []string{"shutdown signal received", "final snapshot:", "final metrics snapshot"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("shutdown log missing %q:\n%s", want, log)
+		}
 	}
 }

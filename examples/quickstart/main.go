@@ -80,9 +80,12 @@ func main() {
 	// Monte-Carlo index (Algorithm 1 with pruning + SLING cache). The
 	// index records its own build phases (walk-sample,
 	// sling-cache-init) as sub-spans of the same trace, and its query
-	// paths feed the registry.
+	// paths feed the registry. AutoPlan attaches the adaptive planner,
+	// which picks a top-k strategy per query from the recorded graph and
+	// walk statistics and counts its decisions in the registry.
 	idx, err := semsim.BuildIndex(g, lin, semsim.IndexOptions{
 		NumWalks: 500, WalkLength: 12, C: 0.6, Theta: 0.01, SLINGCutoff: 0.1, Seed: 1,
+		MeetIndex: true, AutoPlan: true,
 		Metrics: metrics, Trace: tr,
 	})
 	if err != nil {
@@ -118,4 +121,11 @@ func main() {
 		snap.Histograms["semsim_query_seconds"].P50*1e6,
 		snap.Histograms["semsim_query_seconds"].P99*1e6,
 		100*cache.HitRatio, cache.Entries)
+
+	// Planner decisions: one labeled counter per top-k strategy.
+	fmt.Printf("backend: %s; planner decisions:", idx.Backend())
+	for _, s := range []string{"brute", "sem-bounded", "collision"} {
+		fmt.Printf("  %s=%d", s, snap.Counters[fmt.Sprintf("semsim_plan_total{strategy=%q}", s)])
+	}
+	fmt.Println()
 }

@@ -88,15 +88,35 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 
 	var b strings.Builder
+	lastBase := ""
 	for _, n := range names {
-		if h := help[n]; h != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, h)
+		// Registered names may carry an inline label set, e.g.
+		// semsim_plan_total{strategy="brute"}: the HELP/TYPE headers
+		// name the bare metric family, emitted once per family (sorting
+		// groups the labeled variants together), while each series line
+		// keeps its full labeled name. Only counters and gauges support
+		// labels; histograms synthesize their own label sets.
+		base := n
+		if i := strings.IndexByte(n, '{'); i >= 0 {
+			base = n[:i]
+		}
+		if base != lastBase {
+			if h := help[n]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, h)
+			}
+			switch kind[n] {
+			case 'c':
+				fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+			case 'g':
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+			}
+			lastBase = base
 		}
 		switch kind[n] {
 		case 'c':
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+			fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
 		case 'g':
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(s.Gauges[n]))
+			fmt.Fprintf(&b, "%s %s\n", n, formatFloat(s.Gauges[n]))
 		case 'h':
 			hs := s.Histograms[n]
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)

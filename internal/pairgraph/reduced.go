@@ -23,9 +23,10 @@ type ReduceOptions struct {
 	// MinProb prunes bypass exploration below this probability mass
 	// (also drained). Default 1e-12.
 	MinProb float64
-	// MaxExpansions bounds the number of dropped-pair expansions per
-	// retained source; the remainder drains. It guards against
-	// exponential bypass blowups on dense dropped regions. Default 1e6.
+	// MaxExpansions bounds the bypass-folding work per retained source,
+	// measured in SARW transitions processed; mass still pending when
+	// the budget runs out drains. It guards against quadratic blowups
+	// on graphs where theta leaves a dense dropped region. Default 2e5.
 	MaxExpansions int
 }
 
@@ -105,42 +106,79 @@ func Reduce(g *hin.Graph, sem semantic.Measure, opts ReduceOptions) (*Reduced, e
 	}
 	var rowEdges []edge
 
+	// Transitions(q) depends only on q, yet the bypass folding below
+	// revisits the same dropped pair along many walks and from many
+	// retained sources. Memoizing the transition lists for the duration
+	// of the build turns the dominant cost from
+	// O(expansions * |in(u)|*|in(v)|) into O(distinct pairs visited);
+	// on graphs where theta drops most pairs this is the difference
+	// between seconds and hours. The memo is released with the builder.
+	memo := make(map[Pair][]Transition)
+	trans := func(q Pair) []Transition {
+		if t, ok := memo[q]; ok {
+			return t
+		}
+		t := Transitions(g, sem, q)
+		memo[q] = t
+		return t
+	}
+
 	for i, p := range r.pairs {
 		rowEdges = rowEdges[:0]
 		if !p.Singleton() {
 			acc := make(map[int32]float64)
 			var drained float64
 			expansions := 0
-			// Depth-first folding of dropped-pair walks: enter every
-			// direct SARW transition; when the target is retained,
-			// record mass; otherwise recurse through dropped pairs,
-			// multiplying by c per extra edge.
-			var fold func(q Pair, mass float64, depth int)
-			fold = func(q Pair, mass float64, depth int) {
-				if mass < opts.MinProb {
-					drained += mass
-					return
-				}
+			// Level-synchronous folding of omitted walks: frontier[q]
+			// aggregates the probability-times-decay mass reaching
+			// dropped pair q via walks of the current length. Mass onto
+			// retained pairs is recorded immediately; frontier mass
+			// below MinProb, beyond the depth bound, or past the
+			// expansion budget drains. Aggregating per pair keeps each
+			// level linear in distinct pairs (a per-walk depth-first
+			// fold re-enumerates every walk and blows up when theta
+			// drops most pairs), and pruning the combined mass drains
+			// no more than a per-walk bound would, so scores stay
+			// within Theorem 3.5's envelope. forder pins the iteration
+			// order so the floating-point sums are deterministic.
+			frontier := make(map[Pair]float64)
+			var forder []Pair
+			route := func(q Pair, mass float64) {
 				if j, ok := r.index[q]; ok {
 					acc[j] += mass
 					return
 				}
-				if depth >= opts.BypassDepth || expansions >= opts.MaxExpansions {
-					drained += mass
-					return
+				if _, ok := frontier[q]; !ok {
+					forder = append(forder, q)
 				}
-				expansions++
-				trs := Transitions(g, sem, q)
-				if len(trs) == 0 {
-					drained += mass // dead end: the walks never return
-					return
-				}
-				for _, tr := range trs {
-					fold(tr.To, mass*tr.Prob*opts.C, depth+1)
+				frontier[q] += mass
+			}
+			for _, tr := range trans(p) {
+				route(tr.To, tr.Prob)
+			}
+			for depth := 1; depth < opts.BypassDepth && len(forder) > 0; depth++ {
+				cur, curOrder := frontier, forder
+				frontier = make(map[Pair]float64, len(cur))
+				forder = make([]Pair, 0, len(curOrder))
+				for _, q := range curOrder {
+					mass := cur[q]
+					if mass < opts.MinProb || expansions >= opts.MaxExpansions {
+						drained += mass
+						continue
+					}
+					trs := trans(q)
+					expansions += len(trs)
+					if len(trs) == 0 {
+						drained += mass // dead end: the walks never return
+						continue
+					}
+					for _, tr := range trs {
+						route(tr.To, mass*tr.Prob*opts.C)
+					}
 				}
 			}
-			for _, tr := range Transitions(g, sem, p) {
-				fold(tr.To, tr.Prob, 1)
+			for _, q := range forder {
+				drained += frontier[q] // depth bound reached
 			}
 
 			// The SARW distribution out of a non-singleton pair with
@@ -179,6 +217,21 @@ func Reduce(g *hin.Graph, sem semantic.Measure, opts ReduceOptions) (*Reduced, e
 // NumPairs reports the number of retained canonical pairs (excluding the
 // drain).
 func (r *Reduced) NumPairs() int { return len(r.pairs) }
+
+// MemoryBytes estimates the reduction's storage: the retained-pair table
+// and its index, the CSR edge arrays, the drain weights and the solved
+// fixpoint vector. Map overhead is approximated by its entry payload.
+func (r *Reduced) MemoryBytes() int64 {
+	var m int64
+	m += int64(len(r.pairs)) * 8   // pairs: two NodeIDs
+	m += int64(len(r.index)) * 12  // index: pair key + int32 value
+	m += int64(len(r.off)) * 4
+	m += int64(len(r.to)) * 4
+	m += int64(len(r.w)) * 8
+	m += int64(len(r.drainW)) * 8
+	m += int64(len(r.h)) * 8
+	return m
+}
 
 // NumNodesOrdered reports the retained node count in ordered-pair terms
 // (comparable with Full.NumNodes): non-singleton canonical pairs count

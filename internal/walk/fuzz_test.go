@@ -40,11 +40,17 @@ func seedCorpus(f *testing.F, g *hin.Graph) {
 			f.Fatalf("WriteTo: %v", err)
 		}
 		f.Add(buf.Bytes())
+		// The same index in the legacy (v1, checksum-free) layout: Load
+		// must keep accepting it, and mutants exercise the uncovered
+		// payload path.
+		f.Add(legacyBytes(buf.Bytes()))
 	}
-	// Hostile seeds: truncations and a header advertising huge dimensions.
+	// Hostile seeds: truncations and headers advertising huge dimensions
+	// in both the legacy and checksummed layouts.
 	f.Add([]byte{})
 	f.Add([]byte("SSWK"))
 	f.Add([]byte("SSWK\x01\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00"))
+	f.Add([]byte("SSWK\x02\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00\x00\x00\x00\x00"))
 }
 
 // FuzzLoadRoundTrip is the Write -> Read -> Write harness for the binary
@@ -117,9 +123,27 @@ func TestFuzzSeedsPassWithoutFuzzing(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 		t.Fatal("round trip is not byte-identical")
 	}
-	// The hostile huge-dimension header must be rejected, not allocated.
-	huge := []byte("SSWK\x01\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00")
-	if _, err := Load(bytes.NewReader(huge), g); err == nil {
-		t.Fatal("Load accepted a header with ~2^31 walks per node")
+	// The legacy rewrite of the same bytes must load to identical walks
+	// and re-serialize (as v2) to the same fixpoint.
+	legacy, err := Load(bytes.NewReader(legacyBytes(buf.Bytes())), g)
+	if err != nil {
+		t.Fatalf("Load legacy: %v", err)
+	}
+	var fromLegacy bytes.Buffer
+	if _, err := legacy.WriteTo(&fromLegacy); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), fromLegacy.Bytes()) {
+		t.Fatal("legacy round trip does not upgrade to the same v2 bytes")
+	}
+	// Hostile huge-dimension headers must be rejected, not allocated, in
+	// both layouts.
+	for _, huge := range [][]byte{
+		[]byte("SSWK\x01\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00"),
+		[]byte("SSWK\x02\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00\x00\x00\x00\x00"),
+	} {
+		if _, err := Load(bytes.NewReader(huge), g); err == nil {
+			t.Fatal("Load accepted a header with ~2^31 walks per node")
+		}
 	}
 }

@@ -4,15 +4,24 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"semsim/internal/hin"
 )
 
-// Binary index format:
+// Binary index format (version 2):
 //
 //	magic "SSWK" | version u32 | nodes u32 | numWalks u32 | length u32 |
-//	edges u32 (graph fingerprint) | walks []int32 LE
+//	edges u32 (graph fingerprint) | crc32 u32 (IEEE, walk payload) |
+//	walks []int32 LE
+//
+// Version 1 is the same layout without the crc32 word; Load still reads
+// it (walk files written before checksumming existed stay loadable) but
+// WriteTo always emits version 2. The checksum covers the walk payload:
+// dimension and graph mismatches are already caught by the fingerprint
+// fields, while silent bit rot in the (much larger) walk body was
+// previously detectable only when a step happened to fall out of range.
 //
 // The preprocessing phase of the paper is the dominant offline cost, so
 // persisting and reloading the sampled walks (instead of resampling on
@@ -20,8 +29,12 @@ import (
 // Section 7 sketches.
 
 const (
-	indexMagic   = "SSWK"
-	indexVersion = 1
+	indexMagic = "SSWK"
+
+	// indexVersionLegacy files carry no checksum; indexVersion files
+	// insert a crc32 word after the edges fingerprint.
+	indexVersionLegacy = 1
+	indexVersion       = 2
 
 	// maxLoadWalks and maxLoadLength bound the header dimensions Load
 	// accepts. The paper's settings are n_w = 150 and t = 15; the caps
@@ -32,8 +45,22 @@ const (
 	maxLoadLength = 1 << 16
 )
 
-// WriteTo serializes the index. The graph itself is not stored; Load
-// verifies the target graph's shape via a fingerprint.
+// payloadCRC checksums the serialized walk payload: every step as a
+// little-endian uint32, exactly the bytes WriteTo emits after the
+// header.
+func (ix *Index) payloadCRC() uint32 {
+	sum := crc32.NewIEEE()
+	var buf [4]byte
+	for _, step := range ix.walks {
+		binary.LittleEndian.PutUint32(buf[:], uint32(step))
+		sum.Write(buf[:])
+	}
+	return sum.Sum32()
+}
+
+// WriteTo serializes the index in the current (checksummed) format. The
+// graph itself is not stored; Load verifies the target graph's shape
+// via a fingerprint.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -48,7 +75,11 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return written + int64(n), err
 	}
 	written += int64(len(indexMagic))
-	for _, v := range []uint32{indexVersion, uint32(ix.n), uint32(ix.nw), uint32(ix.t), uint32(ix.g.NumEdges())} {
+	hdr := []uint32{
+		indexVersion, uint32(ix.n), uint32(ix.nw), uint32(ix.t),
+		uint32(ix.g.NumEdges()), ix.payloadCRC(),
+	}
+	for _, v := range hdr {
 		if err := put(v); err != nil {
 			return written, err
 		}
@@ -66,8 +97,10 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Load deserializes an index previously written with WriteTo, attaching
-// it to g. It fails if the stored dimensions or the graph fingerprint do
-// not match g.
+// it to g. It fails with a descriptive error if the stored dimensions or
+// the graph fingerprint do not match g, if the file is truncated, or if
+// (version >= 2) the payload checksum does not match. Legacy version-1
+// files without a checksum are still accepted.
 func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -84,7 +117,20 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 		}
 		return binary.LittleEndian.Uint32(buf[:]), nil
 	}
-	hdr := make([]uint32, 5)
+	version, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("walk: reading header: %w", err)
+	}
+	var checked bool
+	switch version {
+	case indexVersionLegacy:
+	case indexVersion:
+		checked = true
+	default:
+		return nil, fmt.Errorf("walk: unsupported index version %d (supported: %d, %d)",
+			version, indexVersionLegacy, indexVersion)
+	}
+	hdr := make([]uint32, 4)
 	for i := range hdr {
 		v, err := get()
 		if err != nil {
@@ -92,9 +138,12 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 		}
 		hdr[i] = v
 	}
-	version, n, nw, t, edges := hdr[0], int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
-	if version != indexVersion {
-		return nil, fmt.Errorf("walk: unsupported index version %d", version)
+	n, nw, t, edges := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+	var wantCRC uint32
+	if checked {
+		if wantCRC, err = get(); err != nil {
+			return nil, fmt.Errorf("walk: reading checksum: %w", err)
+		}
 	}
 	if n != g.NumNodes() || edges != g.NumEdges() {
 		return nil, fmt.Errorf("walk: index built for %d nodes / %d edges, graph has %d / %d",
@@ -115,15 +164,23 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 	}
 	ix.walks = make([]int32, 0, initial)
 	buf := make([]byte, 4)
+	gotCRC := uint32(0)
 	for i := 0; i < total; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("walk: reading walks: %w", err)
+			return nil, fmt.Errorf("walk: truncated walk data (step %d of %d): %w", i, total, err)
+		}
+		if checked {
+			gotCRC = crc32.Update(gotCRC, crc32.IEEETable, buf)
 		}
 		step := int32(binary.LittleEndian.Uint32(buf))
 		if step != Stop && (step < 0 || int(step) >= n) {
 			return nil, fmt.Errorf("walk: corrupt walk step %d at offset %d", step, i)
 		}
 		ix.walks = append(ix.walks, step)
+	}
+	if checked && gotCRC != wantCRC {
+		return nil, fmt.Errorf("walk: checksum mismatch (stored %08x, computed %08x): file corrupt",
+			wantCRC, gotCRC)
 	}
 	return ix, nil
 }

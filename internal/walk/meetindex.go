@@ -127,6 +127,12 @@ func (m *MeetIndex) Collisions(u hin.NodeID) []Collision {
 	return out
 }
 
+// Entries reports the total number of inverted-index slots — the sum
+// over all stored walks of their non-terminated positions. The query
+// planner uses it to estimate the expected collision count of a
+// single-source enumeration (engine.CollectStats).
+func (m *MeetIndex) Entries() int64 { return int64(len(m.entries)) }
+
 // MemoryBytes estimates the inverted index storage.
 func (m *MeetIndex) MemoryBytes() int64 {
 	return int64(len(m.offsets))*4 + int64(len(m.entries))*8

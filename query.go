@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 
+	"semsim/internal/engine"
 	"semsim/internal/mc"
 	"semsim/internal/pairgraph"
 	"semsim/internal/rank"
@@ -11,8 +12,9 @@ import (
 	"semsim/internal/walk"
 )
 
-// errNoMeetIndex is returned by SingleSource when the index was built
-// without IndexOptions.MeetIndex.
+// errNoMeetIndex is returned by SingleSource when the backend cannot
+// enumerate single-source results (the default mc backend without
+// IndexOptions.MeetIndex).
 var errNoMeetIndex = errors.New("semsim: index built without MeetIndex; set IndexOptions.MeetIndex")
 
 // Scored pairs a node with a similarity score (top-k search results).
@@ -63,10 +65,43 @@ type IndexOptions struct {
 	// SLINGCutoff > 0; the warm pass is timed into
 	// semsim_build_cache_warm_seconds and the cache-warm trace span.
 	WarmCache bool
+	// Backend selects the engine backend that answers Query, TopK,
+	// SingleSource and BatchQuery (see Backends for the registered
+	// names):
+	//
+	//   - "mc" (the default, also ""): the pruned Monte-Carlo
+	//     estimator of Algorithm 1 — approximate, scales to large
+	//     graphs;
+	//   - "reduced": the materialized G^2_theta of Section 3 — exact
+	//     scores for retained pairs (sem > Theta), 0 for dropped ones;
+	//   - "exact": the iterative all-pairs fixpoint of Section 2.3 —
+	//     exact everywhere, small graphs only (it refuses graphs
+	//     beyond a few thousand nodes).
+	//
+	// The walk index (and with it SaveWalks/SimRankQuery) is built for
+	// every backend; non-mc backends additionally build and query
+	// their own structure. Unknown names fail BuildIndex.
+	Backend string
+	// AutoPlan attaches the adaptive query planner: each TopK call
+	// picks its execution strategy (collision-driven, sem-bounded or
+	// brute scan) from graph/walk statistics recorded at build time,
+	// instead of the static caller-chosen routing. Decisions are
+	// counted into Metrics as semsim_plan_total{strategy="..."}.
+	// Results are identical across strategies; only the work done per
+	// query changes.
+	AutoPlan bool
 }
 
-// Index answers single-pair and top-k SemSim queries in O(n_w * t * d^2)
-// average time (O(n_w * t) with the SLING cache), per Section 4.
+// Backends lists the registered engine backend names, valid values for
+// IndexOptions.Backend.
+func Backends() []string { return engine.Names() }
+
+// Index answers single-pair and top-k SemSim queries by delegating to a
+// pluggable engine backend (IndexOptions.Backend): by default the
+// Monte-Carlo estimator of Section 4 — O(n_w * t * d^2) average query
+// time, O(n_w * t) with the SLING cache — optionally the exact reduced
+// or iterative backends. Query routing can further be left to the
+// adaptive planner (IndexOptions.AutoPlan).
 //
 // An Index is safe for concurrent use: any number of goroutines may call
 // Query, TopK, TopKSemBounded, SingleSource, BatchQuery and SimRankQuery
@@ -75,12 +110,15 @@ type IndexOptions struct {
 // identical to serial ones. Only construction (BuildIndex / LoadIndex)
 // and SaveWalks are single-threaded operations.
 type Index struct {
+	g       *Graph
 	walks   *walk.Index
 	est     *mc.Estimator
 	srmc    *simrank.MC
 	cache   *mc.SOCache
 	meet    *walk.MeetIndex
 	metrics *Metrics
+	eng     engine.Backend
+	planner *engine.Planner
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
@@ -146,7 +184,7 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics}
+	idx := &Index{g: g, walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics}
 	if opts.MeetIndex {
 		meetLat := opts.Metrics.Histogram("semsim_build_meet_index_seconds",
 			"wall time of the inverted meet-index pass", nil)
@@ -156,50 +194,96 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 		meetLat.ObserveSince(tm)
 		sp.End()
 	}
+	if opts.AutoPlan {
+		idx.planner = engine.NewPlanner(engine.CollectStats(g, ix, idx.meet), opts.Metrics)
+	}
+	backendLat := opts.Metrics.Histogram("semsim_build_backend_seconds",
+		"wall time of the engine-backend construction (fixpoint solves for reduced/exact)", nil)
+	sp := opts.Trace.Start("engine-backend")
+	tb := backendLat.Start()
+	eng, err := engine.New(opts.Backend, engine.Config{
+		Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
+		Estimator: est, Walks: ix, Meet: idx.meet, Cache: cache,
+		Workers: opts.Workers, Metrics: opts.Metrics, Planner: idx.planner,
+	})
+	backendLat.ObserveSince(tb)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	idx.eng = eng
 	return idx, nil
 }
 
-// Query estimates the SemSim score of (u,v) in [0,1].
-func (ix *Index) Query(u, v NodeID) float64 { return ix.est.Query(u, v) }
+// Backend reports the engine backend name the index delegates to.
+func (ix *Index) Backend() string { return ix.eng.Name() }
 
-// TopK returns the k nodes most similar to u, descending. With a meet
-// index (IndexOptions.MeetIndex) only candidates whose walks collide with
-// u's are scored; otherwise all nodes are probed. The collision-driven
-// path wins when meetings are sparse (large graphs, short walks); on
-// small dense graphs the brute scan with theta pre-filtering — or
-// TopKSemBounded — is typically faster.
-func (ix *Index) TopK(u NodeID, k int) []Scored {
-	if ix.meet != nil {
-		return ix.est.TopKWithIndex(u, k, ix.meet)
+// Query estimates the SemSim score of (u,v) in [0,1] via the selected
+// backend. Node IDs are bounds-checked: an id outside the graph scores
+// 0 instead of indexing walk storage unchecked.
+func (ix *Index) Query(u, v NodeID) float64 {
+	s, err := ix.eng.Query(u, v)
+	if err != nil {
+		return 0
 	}
-	return ix.est.TopK(u, k)
+	return s
 }
 
-// SingleSource estimates sim(u, v) for every v whose walks meet u's
-// (ascending node order, zero scores omitted). Requires
-// IndexOptions.MeetIndex.
+// TopK returns the k nodes most similar to u, descending. With
+// IndexOptions.AutoPlan the execution strategy (collision-driven,
+// sem-bounded or brute scan) is chosen per query by the adaptive
+// planner; otherwise the historical static routing applies — the
+// collision path when a meet index exists (IndexOptions.MeetIndex), the
+// brute scan otherwise. All strategies return the identical result set.
+// An out-of-range u returns nil.
+func (ix *Index) TopK(u NodeID, k int) []Scored {
+	out, err := ix.eng.TopK(u, k)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// SingleSource estimates sim(u, v) for every v with a nonzero estimate
+// (ascending node order, zeros omitted). The default mc backend requires
+// IndexOptions.MeetIndex; the reduced and exact backends enumerate
+// natively.
 func (ix *Index) SingleSource(u NodeID) ([]Scored, error) {
-	if ix.meet == nil {
+	if !ix.eng.Caps().HasSingleSource {
 		return nil, errNoMeetIndex
 	}
-	return ix.est.SingleSource(u, ix.meet), nil
+	return ix.eng.SingleSource(u)
 }
 
-// TopKSemBounded is TopK accelerated by Prop 2.5 (sim <= sem): candidates
-// are scanned in descending semantic order with early termination.
-// Results are identical to the brute-force scan.
+// TopKSemBounded is TopK forced onto the sem-bounded strategy of Prop
+// 2.5 (sim <= sem): candidates are scanned in descending semantic order
+// with early termination. Results are identical to TopK.
+//
+// Deprecated: strategy choice belongs to the engine — set
+// IndexOptions.AutoPlan and call TopK; the planner picks the sem-bounded
+// scan whenever it wins. This shim remains for callers that want to
+// force the strategy explicitly.
 func (ix *Index) TopKSemBounded(u NodeID, k int) []Scored {
-	return ix.est.TopKSemBounded(u, k)
+	if sr, ok := ix.eng.(engine.StrategyRunner); ok {
+		out, err := sr.TopKWithStrategy(u, k, engine.StrategySemBounded)
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	return ix.TopK(u, k)
 }
 
-// BatchQuery evaluates many pairs concurrently over this index's walks.
-// All workers share the index's estimator and SO cache, so batches warm
-// the cache for subsequent queries instead of discarding per-worker
-// copies. workers <= 0 uses the configured pool size
-// (IndexOptions.Workers, defaulting to NumCPU). Results align
-// positionally with pairs and match a serial Query loop exactly.
+// BatchQuery evaluates many pairs concurrently over the selected
+// backend. Every pair is bounds-checked against the graph before any
+// scoring starts; a malformed pair fails the whole batch with an error
+// naming it. On the mc backend all workers share the index's estimator
+// and SO cache, so batches warm the cache for subsequent queries.
+// workers <= 0 uses the configured pool size (IndexOptions.Workers,
+// defaulting to NumCPU). Results align positionally with pairs and
+// match a serial Query loop exactly.
 func (ix *Index) BatchQuery(pairs [][2]NodeID, workers int) ([]float64, error) {
-	return ix.est.QueryBatch(pairs, workers), nil
+	return ix.eng.QueryBatch(pairs, workers)
 }
 
 // SimRankQuery estimates the plain SimRank score on the same walk index
@@ -276,7 +360,9 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 }
 
 // MemoryBytes reports the walk-index storage plus the SLING cache and
-// meet index, the quantities of the paper's preprocessing report.
+// meet index, the quantities of the paper's preprocessing report. A
+// non-mc backend additionally reports its own prepared structure (the
+// reduced pair graph, the exact score matrix).
 func (ix *Index) MemoryBytes() int64 {
 	m := ix.walks.MemoryBytes()
 	if ix.cache != nil {
@@ -284,6 +370,9 @@ func (ix *Index) MemoryBytes() int64 {
 	}
 	if ix.meet != nil {
 		m += ix.meet.MemoryBytes()
+	}
+	if ix.eng != nil && ix.eng.Name() != "mc" {
+		m += ix.eng.MemoryBytes()
 	}
 	return m
 }
