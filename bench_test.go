@@ -18,6 +18,7 @@ import (
 	"semsim/internal/hin"
 	"semsim/internal/mc"
 	"semsim/internal/obs"
+	"semsim/internal/semantic"
 	"semsim/internal/simrank"
 	"semsim/internal/walk"
 )
@@ -156,11 +157,13 @@ func BenchmarkPreprocessing(b *testing.B) {
 
 // benchEnv builds a shared medium graph + walk index once.
 type benchEnv struct {
-	d   *datagen.Dataset
-	ix  *walk.Index
+	d    *datagen.Dataset
+	ix   *walk.Index
 	est  *mc.Estimator // SemSim, no pruning
 	prn  *mc.Estimator // SemSim + pruning + SLING
 	prnM *mc.Estimator // SemSim + pruning + SLING + live metrics registry
+	krn  *mc.Estimator // SemSim + pruning + semantic kernel + dense-warmed SLING
+	kern *semantic.Kernel
 	sr   *simrank.MC   // SimRank
 	idx  *semsim.Index // public facade index
 	idxM *semsim.Index // public facade index with metrics enabled
@@ -185,7 +188,12 @@ func env(b *testing.B) *benchEnv {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Both striped-map caches are precomputed (the offline SLING build)
+	// so every repetition of every benchmark sees the same warm cache —
+	// lazy fills would charge their map growth to whichever rep first
+	// visits a pair.
 	cache := mc.NewSOCache(d.Graph, d.Lin, 0.1)
+	cache.Precompute()
 	prn, err := mc.New(ix, d.Lin, mc.Options{C: 0.6, Theta: 0.05, Cache: cache})
 	if err != nil {
 		b.Fatal(err)
@@ -194,27 +202,46 @@ func env(b *testing.B) *benchEnv {
 	if err != nil {
 		b.Fatal(err)
 	}
+	cacheM := mc.NewSOCache(d.Graph, d.Lin, 0.1)
+	cacheM.Precompute()
 	prnM, err := mc.New(ix, d.Lin, mc.Options{
-		C: 0.6, Theta: 0.05, Cache: mc.NewSOCache(d.Graph, d.Lin, 0.1),
+		C: 0.6, Theta: 0.05, Cache: cacheM,
 		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	kern, err := semantic.NewKernel(d.Lin, d.Graph.NumNodes(), semantic.KernelOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kcache := mc.NewSOCache(d.Graph, kern, 0.1)
+	if !kcache.EnableDense(0, 0) {
+		b.Fatal("dense SO warm refused the benchmark graph")
+	}
+	krn, err := mc.New(ix, kern, mc.Options{C: 0.6, Theta: 0.05, Cache: kcache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// WarmCache keeps the facade benchmarks in steady state: a lazily
+	// filled SLING cache charges map-growth allocations to whichever rep
+	// first visits a source node, skewing the first -count repetition.
 	idx, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
 		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
+		WarmCache: true,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	idxM, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
 		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 2, Parallel: true,
-		Metrics: semsim.NewMetrics(),
+		WarmCache: true, Metrics: semsim.NewMetrics(),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	envCache = &benchEnv{d: d, ix: ix, est: est, prn: prn, prnM: prnM, sr: sr, idx: idx, idxM: idxM}
+	envCache = &benchEnv{d: d, ix: ix, est: est, prn: prn, prnM: prnM, krn: krn, kern: kern,
+		sr: sr, idx: idx, idxM: idxM}
 	return envCache
 }
 
@@ -258,9 +285,17 @@ func BenchmarkQuerySemSimMC(b *testing.B) {
 
 // BenchmarkQuerySemSimPrunedSLING is the pruned+cached SemSim query of
 // Figure 4 (the configuration the paper reports as on par with SimRank).
+// The SLING cache is precomputed at env build and the benchmark's pair
+// cycle is re-queried before timing, so the numbers reflect the steady
+// state, not the cold fill.
 func BenchmarkQuerySemSimPrunedSLING(b *testing.B) {
 	e := env(b)
+	for i := 0; i < 1024; i++ {
+		u, v := pairAt(e, i)
+		e.prn.Query(u, v)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, v := pairAt(e, i)
 		e.prn.Query(u, v)
@@ -273,10 +308,62 @@ func BenchmarkQuerySemSimPrunedSLING(b *testing.B) {
 // (budget: <= 2%, 0 extra allocs/op).
 func BenchmarkQuerySemSimPrunedSLINGMetrics(b *testing.B) {
 	e := env(b)
+	for i := 0; i < 1024; i++ {
+		u, v := pairAt(e, i)
+		e.prnM.Query(u, v)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, v := pairAt(e, i)
 		e.prnM.Query(u, v)
+	}
+}
+
+// BenchmarkQuerySemSimKernel is the tentpole configuration: pruning, the
+// dense-warmed SLING SO table and the precomputed semantic kernel. Same
+// workload and pairs as BenchmarkQuerySemSimPrunedSLING; scores are
+// bit-identical (asserted below), only the per-step lookups change —
+// sem(u,v) and SO(a,b) each become one array read.
+func BenchmarkQuerySemSimKernel(b *testing.B) {
+	e := env(b)
+	for i := 0; i < 1024; i++ {
+		u, v := pairAt(e, i)
+		if got, want := e.krn.Query(u, v), e.prn.Query(u, v); got != want {
+			b.Fatalf("kernel path diverged at pair %d: %v != %v", i, got, want)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.krn.Query(u, v)
+	}
+}
+
+// BenchmarkKernelBuild measures the offline kernel construction (concept
+// classing + dense concept-pair matrix fill) on the benchmark taxonomy.
+func BenchmarkKernelBuild(b *testing.B) {
+	e := env(b)
+	n := e.d.Graph.NumNodes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := semantic.NewKernel(e.d.Lin, n, semantic.KernelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSOCacheDenseWarm measures the offline dense SO-table warm
+// (every pair probed, sem >= cutoff pairs materialized).
+func BenchmarkSOCacheDenseWarm(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := mc.NewSOCache(e.d.Graph, e.kern, 0.1)
+		if !c.EnableDense(0, 0) {
+			b.Fatal("dense warm refused")
+		}
 	}
 }
 
@@ -302,8 +389,13 @@ func BenchmarkLCAQuery(b *testing.B) {
 }
 
 // BenchmarkTopK10 measures the public-facade top-10 similarity search.
+// The index is built with WarmCache (steady state from the first rep);
+// one warm search still runs before the timer to settle any remaining
+// lazy initialization.
 func BenchmarkTopK10(b *testing.B) {
 	e := env(b)
+	e.idx.TopK(0, 10)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
 		e.idx.TopK(u, 10)
@@ -315,6 +407,8 @@ func BenchmarkTopK10(b *testing.B) {
 // the per-search aggregates are recorded.
 func BenchmarkTopK10Metrics(b *testing.B) {
 	e := env(b)
+	e.idxM.TopK(0, 10)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
 		e.idxM.TopK(u, 10)
@@ -366,6 +460,7 @@ func BenchmarkAblation(b *testing.B) {
 func BenchmarkTopK10MeetIndex(b *testing.B) {
 	e := env(b)
 	meet := walk.BuildMeetIndex(e.ix)
+	e.prn.TopKWithIndex(0, 10, meet)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
@@ -377,6 +472,8 @@ func BenchmarkTopK10MeetIndex(b *testing.B) {
 // search.
 func BenchmarkTopK10SemBounded(b *testing.B) {
 	e := env(b)
+	e.prn.TopKSemBounded(0, 10)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
 		e.prn.TopKSemBounded(u, 10)
@@ -388,6 +485,7 @@ func BenchmarkTopK10SemBounded(b *testing.B) {
 func BenchmarkSingleSource(b *testing.B) {
 	e := env(b)
 	meet := walk.BuildMeetIndex(e.ix)
+	e.prn.SingleSource(0, meet)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
@@ -439,6 +537,9 @@ func queryIndex(b *testing.B) (*semsim.Index, int) {
 // BenchmarkQueryParallel, on the same cached index.
 func BenchmarkQuerySerialBaseline(b *testing.B) {
 	idx, n := queryIndex(b)
+	for i := 0; i < 1024; i++ {
+		idx.Query(hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n))
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, v := hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n)
@@ -452,6 +553,9 @@ func BenchmarkQuerySerialBaseline(b *testing.B) {
 // hot path takes no locks beyond the cache's read-mostly stripes.
 func BenchmarkQueryParallel(b *testing.B) {
 	idx, n := queryIndex(b)
+	for i := 0; i < 1024; i++ {
+		idx.Query(hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n))
+	}
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -486,6 +590,9 @@ func BenchmarkBatchQuerySharedCache(b *testing.B) {
 	pairs := make([][2]hin.NodeID, 512)
 	for i := range pairs {
 		pairs[i] = [2]hin.NodeID{hin.NodeID(i * 3 % n), hin.NodeID((i*11 + 2) % n)}
+	}
+	if _, err := idx.BatchQuery(pairs, 0); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -523,6 +630,7 @@ func planIndex(b *testing.B) (*semsim.Index, int) {
 // (it should be within noise of whichever strategy the planner picks).
 func BenchmarkTopK10AutoPlan(b *testing.B) {
 	idx, n := planIndex(b)
+	idx.TopK(0, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx.TopK(hin.NodeID(i*7%n), 10)

@@ -36,14 +36,16 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. BytesPerOp and AllocsPerOp are
+// always emitted — an explicit 0 is the recorded proof of a
+// zero-allocation path, which the -compare guard then defends.
 type Result struct {
 	Name        string  `json:"name"`
 	Procs       int     `json:"procs"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // Report is the emitted JSON document.
@@ -178,12 +180,17 @@ func minNsByName(results []Result) map[string]float64 {
 
 // findRegressions compares fresh results against a baseline by minimum
 // ns/op and describes every benchmark that slowed down by more than
-// maxRegress (a fraction: 0.25 means +25%). Benchmarks present on only
-// one side are skipped — renames and new benchmarks must not fail the
-// guard.
+// maxRegress (a fraction: 0.25 means +25%). Zero-allocation paths are
+// guarded absolutely: a benchmark whose baseline records 0 allocs/op
+// fails the moment any repetition allocates — alloc counts are
+// deterministic, so unlike ns/op there is no noise tolerance to grant.
+// Benchmarks present on only one side are skipped — renames and new
+// benchmarks must not fail the guard.
 func findRegressions(baseline, current []Result, maxRegress float64) []string {
 	base := minNsByName(baseline)
 	cur := minNsByName(current)
+	baseAllocs := minAllocsByName(baseline)
+	curAllocs := minAllocsByName(current)
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if _, ok := base[name]; ok {
@@ -201,8 +208,28 @@ func findRegressions(baseline, current []Result, maxRegress float64) []string {
 			out = append(out, fmt.Sprintf("REGRESSION %s: %.0f ns/op -> %.0f ns/op (%+.0f%%)",
 				name, b, c, (ratio-1)*100))
 		}
+		if baseAllocs[name] == 0 && curAllocs[name] > 0 {
+			out = append(out, fmt.Sprintf("REGRESSION %s: zero-alloc path now allocates (%d allocs/op)",
+				name, curAllocs[name]))
+		}
 	}
 	return out
+}
+
+// minAllocsByName collapses -count repetitions to the minimum allocs/op
+// per benchmark name. The minimum, not the mean: a path is zero-alloc
+// only if some full repetition ran without allocating, and stray
+// allocations in other reps (lazy warmup, pool refills after GC) must
+// not mask a genuinely clean path — nor may a clean first rep excuse a
+// steady-state leak, which the ns/op guard would surface instead.
+func minAllocsByName(results []Result) map[string]int64 {
+	min := map[string]int64{}
+	for _, r := range results {
+		if v, ok := min[r.Name]; !ok || r.AllocsPerOp < v {
+			min[r.Name] = r.AllocsPerOp
+		}
+	}
+	return min
 }
 
 // parseBench extracts benchmark result lines from `go test -bench`

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFindRegressionsAllocGuard: a benchmark whose baseline proves a
+// zero-allocation path must fail the drift guard as soon as any current
+// repetition allocates, with no noise tolerance; paths that already
+// allocated in the baseline stay governed by the ns/op ratio alone.
+func TestFindRegressionsAllocGuard(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkQueryWarm", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "BenchmarkQueryWarm", NsPerOp: 2100, AllocsPerOp: 0},
+		{Name: "BenchmarkTopK", NsPerOp: 50000, AllocsPerOp: 12},
+	}
+	current := []Result{
+		{Name: "BenchmarkQueryWarm", NsPerOp: 2050, AllocsPerOp: 3},
+		{Name: "BenchmarkTopK", NsPerOp: 51000, AllocsPerOp: 15},
+	}
+	regs := findRegressions(baseline, current, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want exactly the alloc guard", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkQueryWarm") || !strings.Contains(regs[0], "zero-alloc") {
+		t.Fatalf("unexpected regression message %q", regs[0])
+	}
+
+	// A single clean repetition keeps the path zero-alloc: min, not mean.
+	current = []Result{
+		{Name: "BenchmarkQueryWarm", NsPerOp: 2050, AllocsPerOp: 2},
+		{Name: "BenchmarkQueryWarm", NsPerOp: 2060, AllocsPerOp: 0},
+	}
+	if regs := findRegressions(baseline, current, 0.25); len(regs) != 0 {
+		t.Fatalf("min-allocs rep is clean, got regressions %v", regs)
+	}
+}
+
+// TestFindRegressionsNsGuard: the ns/op ratio guard still fires
+// independently of the alloc guard, and both can report the same name.
+func TestFindRegressionsNsGuard(t *testing.T) {
+	baseline := []Result{{Name: "BenchmarkQueryWarm", NsPerOp: 1000, AllocsPerOp: 0}}
+	current := []Result{{Name: "BenchmarkQueryWarm", NsPerOp: 1500, AllocsPerOp: 1}}
+	regs := findRegressions(baseline, current, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("got %v, want one ns/op and one alloc regression", regs)
+	}
+}
+
+// TestResultJSONAlwaysRecordsAllocs: zero B/op and allocs/op serialize
+// as explicit fields — the recorded proof the drift guard keys on.
+func TestResultJSONAlwaysRecordsAllocs(t *testing.T) {
+	data, err := json.Marshal(Result{Name: "BenchmarkQueryWarm", NsPerOp: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"bytes_per_op":0`, `"allocs_per_op":0`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("marshaled result %s missing %s", data, field)
+		}
+	}
+}

@@ -51,6 +51,8 @@ func main() {
 		loadWalks = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
 		backend   = fs.String("backend", "mc", "engine backend: "+strings.Join(semsim.Backends(), "|"))
 		autoplan  = fs.Bool("autoplan", false, "let the adaptive planner pick the top-k strategy per query")
+		kernel    = fs.String("kernel", "auto", "semantic kernel: auto|on|off")
+		kernelMem = fs.Int64("kernel-budget", 0, "dense kernel memory budget in bytes (0 = 64 MiB default)")
 		debugAddr = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
 		warmup    = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
 	)
@@ -86,6 +88,7 @@ func main() {
 			SLINGCutoff: *sling, Seed: *seed, Parallel: true,
 			MeetIndex: meetIndex,
 			Backend:   *backend, AutoPlan: *autoplan,
+			SemanticKernel: *kernel, KernelMemoryBudget: *kernelMem,
 		}
 		var idx *semsim.Index
 		var err error
@@ -168,6 +171,7 @@ func main() {
 				NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
 				SLINGCutoff: *sling, Seed: *seed, Parallel: true,
 				Backend: *backend, AutoPlan: *autoplan,
+				SemanticKernel: *kernel, KernelMemoryBudget: *kernelMem,
 			},
 		}, nil)
 		if err != nil {

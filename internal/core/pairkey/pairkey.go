@@ -1,0 +1,51 @@
+// Package pairkey is the one canonical symmetric-pair representation of
+// the repository. SemSim is symmetric in its node pairs — sem(u,v) =
+// sem(v,u), SO(u,v) = SO(v,u), kernel cells are triangular — so every
+// pair-indexed structure (semantic.Override, mc.SOCache, the semantic
+// kernel's memo shards) keys by the canonical orientation u <= v. This
+// package centralizes that logic: one ordering rule, one packed 64-bit
+// key layout, one stripe hash, instead of three private copies drifting
+// apart.
+//
+// It lives under internal/core because the canonicalization is part of
+// the measure's contract (Section 2.2, constraint 1: symmetry), but in
+// its own leaf package so that both internal/semantic and internal/mc
+// can import it without cycles (package core itself depends on
+// internal/semantic).
+package pairkey
+
+import "semsim/internal/hin"
+
+// Canonical orders a symmetric pair so that u <= v. Every pair-keyed
+// lookup and every cached computation must canonicalize first — it is
+// what makes cached and direct evaluations sum in the same order and
+// therefore stay bit-identical.
+func Canonical(u, v hin.NodeID) (hin.NodeID, hin.NodeID) {
+	if u > v {
+		return v, u
+	}
+	return u, v
+}
+
+// Key packs the canonical orientation of (u,v) into one 64-bit map key:
+// the smaller id in the high 32 bits, the larger in the low 32. Key(u,v)
+// == Key(v,u) by construction. Node ids are taken modulo 2^32, which is
+// exact for every id the graph can issue (hin.NodeID is 32-bit).
+func Key(u, v hin.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// fibMult is the 64-bit Fibonacci hashing constant (2^64 / phi). Packed
+// keys of near-sequential node ids differ only in a few low and middle
+// bits; multiplying by fibMult diffuses them across the whole word so a
+// top-bits Shard extraction stays uniform.
+const fibMult = 0x9e3779b97f4a7c15
+
+// Shard maps a packed pair key onto one of 2^bits lock stripes via
+// Fibonacci hashing (the scheme mc.SOCache has always used).
+func Shard(key uint64, bits uint) uint64 {
+	return (key * fibMult) >> (64 - bits)
+}

@@ -1,0 +1,77 @@
+package pairkey
+
+import (
+	"math/rand"
+	"testing"
+
+	"semsim/internal/hin"
+)
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ u, v, wantU, wantV hin.NodeID }{
+		{0, 0, 0, 0},
+		{1, 2, 1, 2},
+		{2, 1, 1, 2},
+		{7, 7, 7, 7},
+		{1 << 30, 3, 3, 1 << 30},
+	}
+	for _, c := range cases {
+		u, v := Canonical(c.u, c.v)
+		if u != c.wantU || v != c.wantV {
+			t.Errorf("Canonical(%d,%d) = (%d,%d), want (%d,%d)", c.u, c.v, u, v, c.wantU, c.wantV)
+		}
+		if u > v {
+			t.Errorf("Canonical(%d,%d) not ordered", c.u, c.v)
+		}
+	}
+}
+
+func TestKeySymmetricAndInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64][2]hin.NodeID{}
+	for i := 0; i < 20000; i++ {
+		u := hin.NodeID(rng.Intn(5000))
+		v := hin.NodeID(rng.Intn(5000))
+		k := Key(u, v)
+		if k != Key(v, u) {
+			t.Fatalf("Key(%d,%d) != Key(%d,%d)", u, v, v, u)
+		}
+		cu, cv := Canonical(u, v)
+		if prev, ok := seen[k]; ok && (prev[0] != cu || prev[1] != cv) {
+			t.Fatalf("key collision: %v and (%d,%d) share %x", prev, cu, cv, k)
+		}
+		seen[k] = [2]hin.NodeID{cu, cv}
+	}
+}
+
+// TestKeyLayout pins the packed layout: smaller id in the high word. The
+// SOCache shard hash and any persisted keying depend on it staying put.
+func TestKeyLayout(t *testing.T) {
+	if got, want := Key(1, 2), uint64(1)<<32|2; got != want {
+		t.Fatalf("Key(1,2) = %#x, want %#x", got, want)
+	}
+	if got, want := Key(2, 1), uint64(1)<<32|2; got != want {
+		t.Fatalf("Key(2,1) = %#x, want %#x", got, want)
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var hist [64]int
+	for i := 0; i < 64000; i++ {
+		u := hin.NodeID(rng.Intn(100000))
+		v := hin.NodeID(rng.Intn(100000))
+		s := Shard(Key(u, v), 6)
+		if s >= 64 {
+			t.Fatalf("Shard out of range: %d", s)
+		}
+		hist[s]++
+	}
+	// The Fibonacci hash should spread near-sequential ids roughly
+	// uniformly: no stripe may hold more than 4x its fair share.
+	for i, n := range hist {
+		if n > 4*64000/64 {
+			t.Fatalf("stripe %d holds %d of 64000 keys — hash is skewed", i, n)
+		}
+	}
+}

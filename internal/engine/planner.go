@@ -65,6 +65,11 @@ type Stats struct {
 	// cell load MeetEntries/(n*(t+1)) estimates how many foreign walks
 	// co-locate with each step of a query's walk.
 	MeetEntries int64
+	// DenseSemKernel reports that semantic evaluations go through a
+	// dense precomputed kernel (one array read each), which moves the
+	// break-even point of the sem-bounded scan: its n upfront semantic
+	// probes become nearly free, leaving only the sort overhead.
+	DenseSemKernel bool
 }
 
 // CollectStats records the planner inputs for one built index. meet may
@@ -88,8 +93,13 @@ func CollectStats(g *hin.Graph, walks *walk.Index, meet *walk.MeetIndex) Stats {
 // semBoundedMinNodes is the candidate-count floor below which the
 // sem-bounded scan's sort overhead (O(n log n) on top of n semantic
 // evaluations) outweighs what early termination can save; smaller
-// graphs brute-scan in parallel instead.
-const semBoundedMinNodes = 128
+// graphs brute-scan in parallel instead. With a dense semantic kernel
+// the n upfront probes are single array reads, so the floor drops to
+// semBoundedMinNodesDense.
+const (
+	semBoundedMinNodes      = 128
+	semBoundedMinNodesDense = 32
+)
 
 // Planner picks a top-k execution strategy per query from the recorded
 // statistics and counts every decision into the observability registry
@@ -153,7 +163,11 @@ func (p *Planner) pick() Strategy {
 			return StrategyCollision
 		}
 	}
-	if st.Nodes >= semBoundedMinNodes {
+	floor := semBoundedMinNodes
+	if st.DenseSemKernel {
+		floor = semBoundedMinNodesDense
+	}
+	if st.Nodes >= floor {
 		return StrategySemBounded
 	}
 	return StrategyBrute

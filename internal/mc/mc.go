@@ -193,6 +193,13 @@ func (e *Estimator) query(u, v hin.NodeID) float64 {
 // cache, so one batch warms the cache for the next. Results are
 // positionally aligned with pairs and identical to calling Query serially.
 func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
+	return e.QueryBatchInto(make([]float64, len(pairs)), pairs, workers)
+}
+
+// QueryBatchInto is QueryBatch writing into a caller-provided slice
+// (len(dst) must equal len(pairs)) and returning it. With a reused dst
+// and serial scoring the warm path performs no allocations at all.
+func (e *Estimator) QueryBatchInto(dst []float64, pairs [][2]hin.NodeID, workers int) []float64 {
 	t0 := e.m.batchLat.Start()
 	if workers <= 0 {
 		workers = e.workers
@@ -200,7 +207,7 @@ func (e *Estimator) QueryBatch(pairs [][2]hin.NodeID, workers int) []float64 {
 	if byWork := len(pairs) / minCandidatesPerWorker; byWork < workers {
 		workers = byWork
 	}
-	out := make([]float64, len(pairs))
+	out := dst
 	if workers <= 1 {
 		for i, p := range pairs {
 			out[i] = e.Query(p[0], p[1])

@@ -9,6 +9,23 @@ import (
 	"semsim/internal/walk"
 )
 
+// ssGroup is one colliding candidate: the node and its collision span.
+type ssGroup struct {
+	other  hin.NodeID
+	lo, hi int
+}
+
+// ssScratch holds the per-sweep buffers (collision list, group
+// boundaries, per-group scores) so repeated single-source sweeps reuse
+// their allocations instead of regrowing them on every call.
+type ssScratch struct {
+	cols   []walk.Collision
+	groups []ssGroup
+	scores []float64
+}
+
+var ssScratchPool = sync.Pool{New: func() any { return new(ssScratch) }}
+
 // SingleSource estimates sim(u, v) for every v whose walks collide with
 // u's, using an inverted meeting index instead of probing all n
 // candidates — the single-source optimization the paper's Section 7
@@ -19,28 +36,28 @@ import (
 // the worker pool; the output order and values match the serial scan.
 func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scored {
 	t0 := e.m.singleLat.Start()
-	cols := meet.Collisions(u)
+	sc := ssScratchPool.Get().(*ssScratch)
+	defer ssScratchPool.Put(sc)
+	sc.cols = meet.CollisionsAppend(sc.cols[:0], u)
+	cols := sc.cols
 	if len(cols) == 0 {
 		e.finishSingleSource(t0, 0)
 		return nil
 	}
 	// Collisions arrive grouped by the colliding node; record the group
 	// boundaries so groups can be scored independently.
-	type group struct {
-		other  hin.NodeID
-		lo, hi int
-	}
-	var groups []group
+	groups := sc.groups[:0]
 	lo := 0
 	for i := 1; i <= len(cols); i++ {
 		if i == len(cols) || cols[i].Other != cols[lo].Other {
-			groups = append(groups, group{cols[lo].Other, lo, i})
+			groups = append(groups, ssGroup{cols[lo].Other, lo, i})
 			lo = i
 		}
 	}
+	sc.groups = groups
 
 	nw := float64(e.ix.NumWalks())
-	scoreGroup := func(g group) float64 {
+	scoreGroup := func(g ssGroup) float64 {
 		semUV := e.sem.Sim(u, g.other)
 		if e.theta > 0 && semUV <= e.theta {
 			e.m.semSkips.Inc()
@@ -64,7 +81,11 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 		return score
 	}
 
-	scores := make([]float64, len(groups))
+	if cap(sc.scores) < len(groups) {
+		sc.scores = make([]float64, len(groups))
+	}
+	scores := sc.scores[:len(groups)]
+	clear(scores)
 	workers := e.scoringWorkers(len(groups))
 	if workers <= 1 {
 		for i, g := range groups {

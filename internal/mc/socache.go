@@ -1,9 +1,11 @@
 package mc
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"semsim/internal/core/pairkey"
 	"semsim/internal/hin"
 	"semsim/internal/pairgraph"
 	"semsim/internal/semantic"
@@ -22,10 +24,16 @@ import (
 // without contention, and hit/miss statistics are kept in per-shard
 // atomic counters. SO is deterministic, so a racing double-compute of
 // the same pair stores the same value — last write wins harmlessly.
+//
+// After an eager warm (Precompute), EnableDense can additionally publish
+// the stored values as a flat triangular float64 table: probes then skip
+// the stripe lock and map lookup entirely — one array read — which is
+// what puts a warmed SemSim query within reach of plain SimRank.
 type SOCache struct {
 	g      *hin.Graph
 	sem    semantic.Measure
 	cutoff float64
+	dense  atomic.Pointer[soDense]
 	shards [soCacheShards]soShard
 }
 
@@ -38,13 +46,35 @@ type soShard struct {
 	misses atomic.Int64
 }
 
+// soDense is the immutable read-optimized form of a fully warmed cache:
+// a triangular matrix holding SO for every pair. The SLING cutoff does
+// not apply here — the triangular table allocates a cell per pair either
+// way, so leaving below-cutoff cells empty would save nothing while
+// forcing an O(d^2) recompute on every walk step that crosses one
+// (coupled walks mostly traverse semantically distant pairs). Memory is
+// bounded by the EnableDense budget instead of the cutoff. Published via
+// atomic pointer, so queries racing the warm see either the map or the
+// complete table.
+type soDense struct {
+	vals   []float64
+	rowOff []int64
+	n      int
+}
+
 // soCacheShards is the number of lock stripes. 64 comfortably exceeds
 // the worker counts the query paths spawn (runtime.NumCPU-sized pools),
 // keeping the probability of two workers colliding on a stripe low.
 const soCacheShards = 64
 
+// soShardBits is log2(soCacheShards), the stripe-hash width.
+const soShardBits = 6
+
 // DefaultSOCutoff is the paper's SLING storage threshold.
 const DefaultSOCutoff = 0.1
+
+// DefaultSODenseBudget caps the dense SO table at 64 MiB (~4000 nodes)
+// unless the caller raises it.
+const DefaultSODenseBudget int64 = 64 << 20
 
 // NewSOCache creates an empty cache. cutoff <= 0 uses DefaultSOCutoff.
 func NewSOCache(g *hin.Graph, sem semantic.Measure, cutoff float64) *SOCache {
@@ -58,18 +88,8 @@ func NewSOCache(g *hin.Graph, sem semantic.Measure, cutoff float64) *SOCache {
 	return c
 }
 
-func key(a, b hin.NodeID) uint64 {
-	if a > b {
-		a, b = b, a
-	}
-	return uint64(uint32(a))<<32 | uint64(uint32(b))
-}
-
-// shardOf maps a pair key onto its stripe. The multiplier is the 64-bit
-// Fibonacci hashing constant (2^64/phi), spreading sequential node ids
-// uniformly across stripes.
 func (c *SOCache) shardOf(k uint64) *soShard {
-	return &c.shards[(k*0x9e3779b97f4a7c15)>>(64-6)] // 6 = log2(soCacheShards)
+	return &c.shards[pairkey.Shard(k, soShardBits)]
 }
 
 // SO returns the normalization for (a,b), caching it when the pair's
@@ -79,7 +99,11 @@ func (c *SOCache) SO(a, b hin.NodeID) float64 {
 	if a > b {
 		a, b = b, a
 	}
-	k := key(a, b)
+	k := pairkey.Key(a, b)
+	if d := c.dense.Load(); d != nil {
+		c.shardOf(k).hits.Add(1)
+		return d.vals[d.rowOff[a]+int64(b)]
+	}
 	sh := c.shardOf(k)
 	sh.mu.RLock()
 	v, ok := sh.vals[k]
@@ -99,28 +123,134 @@ func (c *SOCache) SO(a, b hin.NodeID) float64 {
 }
 
 // Precompute eagerly fills the cache for every pair with sem >= cutoff —
-// the offline SLING index build. It is O(n^2) semantic probes plus O(d^2)
-// per stored pair. Precompute itself is single-threaded; it may not run
+// the offline SLING index build — using all available CPUs. It is O(n^2)
+// semantic probes plus O(d^2) per stored pair. It may not run
 // concurrently with itself but may overlap live SO queries.
-func (c *SOCache) Precompute() {
+func (c *SOCache) Precompute() { c.PrecomputeParallel(0) }
+
+// PrecomputeParallel is Precompute with an explicit worker count
+// (<= 0 uses GOMAXPROCS). The stored values are identical to a serial
+// warm: each pair's SO is deterministic, and which pairs are stored
+// depends only on the cutoff, not on scheduling.
+func (c *SOCache) PrecomputeParallel(workers int) {
 	n := c.g.NumNodes()
-	for u := 0; u < n; u++ {
-		for v := u; v < n; v++ {
-			a, b := hin.NodeID(u), hin.NodeID(v)
-			if c.sem.Sim(a, b) >= c.cutoff {
-				k := key(a, b)
-				so := pairgraph.SO(c.g, c.sem, a, b)
-				sh := c.shardOf(k)
-				sh.mu.Lock()
-				sh.vals[k] = so
-				sh.mu.Unlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			c.precomputeRow(u)
+		}
+		return
+	}
+	// Dynamic row assignment: row u costs O(n-u), so contiguous chunks
+	// would leave the high-row worker idle half the time.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				c.precomputeRow(u)
 			}
+		}()
+	}
+	wg.Wait()
+}
+
+// precomputeRow warms every stored pair (u, v>=u).
+func (c *SOCache) precomputeRow(u int) {
+	n := c.g.NumNodes()
+	for v := u; v < n; v++ {
+		a, b := hin.NodeID(u), hin.NodeID(v)
+		if c.sem.Sim(a, b) >= c.cutoff {
+			k := pairkey.Key(a, b)
+			so := pairgraph.SO(c.g, c.sem, a, b)
+			sh := c.shardOf(k)
+			sh.mu.Lock()
+			sh.vals[k] = so
+			sh.mu.Unlock()
 		}
 	}
 }
 
-// Len reports how many pairs are stored.
+// EnableDense materializes SO for every pair as a flat triangular table
+// when n*(n+1)/2 float64 cells fit the budget (<= 0 uses
+// DefaultSODenseBudget), and reports whether it did. It subsumes
+// Precompute: values are bit-identical to the map-mode warm and to the
+// lazy recomputes (same deterministic pairgraph.SO on the same canonical
+// pair) — the table merely extends storage to the below-cutoff pairs the
+// striped maps would recompute on every probe. Call it at build time:
+// once published, probes never touch the stripe maps again.
+func (c *SOCache) EnableDense(budget int64, workers int) bool {
+	n := c.g.NumNodes()
+	cells := int64(n) * int64(n+1) / 2
+	if budget <= 0 {
+		budget = DefaultSODenseBudget
+	}
+	if cells*8 > budget {
+		return false
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	d := &soDense{vals: make([]float64, cells), rowOff: make([]int64, n), n: n}
+	off := int64(0)
+	for a := 0; a < n; a++ {
+		d.rowOff[a] = off - int64(a)
+		off += int64(n - a)
+	}
+	fillRow := func(u int) {
+		row := d.vals[d.rowOff[u]:]
+		for v := u; v < n; v++ {
+			row[v] = pairgraph.SO(c.g, c.sem, hin.NodeID(u), hin.NodeID(v))
+		}
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fillRow(u)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					u := int(next.Add(1)) - 1
+					if u >= n {
+						return
+					}
+					fillRow(u)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	c.dense.Store(d)
+	return true
+}
+
+// Dense reports whether the flat-table read path is active.
+func (c *SOCache) Dense() bool { return c.dense.Load() != nil }
+
+// Len reports how many pairs are stored (every pair, in dense mode).
 func (c *SOCache) Len() int {
+	if d := c.dense.Load(); d != nil {
+		return len(d.vals)
+	}
 	total := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -131,9 +261,15 @@ func (c *SOCache) Len() int {
 	return total
 }
 
-// MemoryBytes estimates cache storage (16 bytes per entry plus map
-// overhead approximated at 2x).
-func (c *SOCache) MemoryBytes() int64 { return int64(c.Len()) * 32 }
+// MemoryBytes estimates cache storage: the full triangular table in
+// dense mode, else 16 bytes per map entry plus map overhead approximated
+// at 2x.
+func (c *SOCache) MemoryBytes() int64 {
+	if d := c.dense.Load(); d != nil {
+		return int64(len(d.vals))*8 + int64(len(d.rowOff))*8
+	}
+	return int64(c.Len()) * 32
+}
 
 // CacheSummary is a coherent one-pass aggregation of the cache's
 // counters: hits, misses, the derived hit ratio and the stored entry
@@ -160,6 +296,9 @@ func (c *SOCache) Summary() CacheSummary {
 		sh.mu.RLock()
 		s.Entries += len(sh.vals)
 		sh.mu.RUnlock()
+	}
+	if d := c.dense.Load(); d != nil {
+		s.Entries = len(d.vals)
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits) / float64(total)

@@ -1,6 +1,11 @@
 package semantic
 
-import "semsim/internal/hin"
+import (
+	"sync/atomic"
+
+	"semsim/internal/core/pairkey"
+	"semsim/internal/hin"
+)
 
 // Override wraps a base measure, replacing the scores of selected pairs.
 // It preserves symmetry (overrides apply to both orders) and never touches
@@ -10,41 +15,75 @@ import "semsim/internal/hin"
 // Overrides exist to reproduce published score tables exactly — e.g. the
 // Lin values of the paper's Examples 2.2 and 3.2, which were computed on
 // the authors' full AMiner domain ontology rather than the toy graph.
+//
+// # Concurrency
+//
+// Sim never takes a lock: the override table is an immutable map behind
+// an atomic pointer, and Set publishes a fresh copy (copy-on-write).
+// With no overrides installed — the overwhelmingly common query-time
+// state — Sim is a single atomic load followed by the base measure, so
+// an Override on the hot path costs nothing measurable. Set is intended
+// for setup time: it is safe against concurrent Sim calls, but
+// concurrent Sets race with each other (last snapshot wins) and each
+// Set copies the whole table.
+//
+// # Composing with Kernel
+//
+// Stack overrides OUTSIDE the kernel: NewOverride(NewKernel(base, ...)).
+// The kernel snapshots its wrapped measure's values, so an Override
+// underneath a Kernel would stop being observed for any pair the kernel
+// has already materialized.
 type Override struct {
 	Base Measure
-	vals map[[2]hin.NodeID]float64
+	vals atomic.Pointer[map[uint64]float64]
 }
 
 // NewOverride returns an Override with no overridden pairs.
 func NewOverride(base Measure) *Override {
-	return &Override{Base: base, vals: make(map[[2]hin.NodeID]float64)}
+	return &Override{Base: base}
 }
 
 // Set overrides sem(u,v) (and sem(v,u)). Values are clamped into (0,1].
+// Set copies the table (copy-on-write) so concurrent Sim calls stay
+// lock-free; call it at setup time, not per query.
 func (o *Override) Set(u, v hin.NodeID, s float64) {
 	if u == v {
 		return
 	}
-	o.vals[pairKey(u, v)] = clamp(s)
+	old := o.vals.Load()
+	next := make(map[uint64]float64, 1+lenOf(old))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[pairkey.Key(u, v)] = clamp(s)
+	o.vals.Store(&next)
 }
 
-// Sim implements Measure.
+func lenOf(m *map[uint64]float64) int {
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}
+
+// Len reports how many pairs are currently overridden.
+func (o *Override) Len() int { return lenOf(o.vals.Load()) }
+
+// Sim implements Measure. The read path is mutex-free: one atomic load,
+// and when no overrides are set not even the pair key is computed.
 func (o *Override) Sim(u, v hin.NodeID) float64 {
 	if u == v {
 		return 1
 	}
-	if s, ok := o.vals[pairKey(u, v)]; ok {
-		return s
+	if m := o.vals.Load(); m != nil {
+		if s, ok := (*m)[pairkey.Key(u, v)]; ok {
+			return s
+		}
 	}
 	return o.Base.Sim(u, v)
 }
 
 // Name implements Measure.
 func (o *Override) Name() string { return o.Base.Name() + "+overrides" }
-
-func pairKey(u, v hin.NodeID) [2]hin.NodeID {
-	if u > v {
-		u, v = v, u
-	}
-	return [2]hin.NodeID{u, v}
-}

@@ -182,5 +182,6 @@ func Load(r io.Reader, g *hin.Graph) (*Index, error) {
 		return nil, fmt.Errorf("walk: checksum mismatch (stored %08x, computed %08x): file corrupt",
 			wantCRC, gotCRC)
 	}
+	ix.fillLens()
 	return ix, nil
 }

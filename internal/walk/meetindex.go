@@ -1,7 +1,9 @@
 package walk
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"semsim/internal/hin"
 )
@@ -27,42 +29,110 @@ type Slot struct {
 	Walk   int32
 }
 
-// BuildMeetIndex inverts ix.
+// maxCountBytes caps the transient per-worker counting arrays of the
+// parallel build (workers * cells * 4 bytes). Past the cap, fewer workers
+// are used; the output is identical either way.
+const maxCountBytes = 256 << 20
+
+// BuildMeetIndex inverts ix, counting and filling in parallel across
+// source chunks. The result is byte-identical to a serial build: entries
+// within a cell appear in increasing (source, walk) order regardless of
+// worker count.
 func BuildMeetIndex(ix *Index) *MeetIndex {
+	return buildMeetIndex(ix, runtime.GOMAXPROCS(0))
+}
+
+func buildMeetIndex(ix *Index, workers int) *MeetIndex {
 	n := ix.n
 	steps := ix.stride
-	counts := make([]int32, n*steps)
-	for v := 0; v < n; v++ {
-		for i := 0; i < ix.nw; i++ {
-			w := ix.Walk(hin.NodeID(v), i)
-			for s, node := range w {
-				if node == Stop {
-					break
+	cells := n * steps
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 && int64(workers)*int64(cells)*4 > maxCountBytes {
+		workers = int(maxCountBytes / (int64(cells) * 4))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Contiguous source chunks. Each worker counts, and later fills, only
+	// its own sources; chunk order matches serial iteration order, which
+	// is what keeps the parallel fill byte-identical.
+	chunk := (n + workers - 1) / workers
+	counts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			counts[w] = make([]int32, cells)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := make([]int32, cells)
+			for v := lo; v < hi; v++ {
+				for i := 0; i < ix.nw; i++ {
+					wk := ix.Walk(hin.NodeID(v), i)
+					l := ix.WalkLen(hin.NodeID(v), i)
+					for s := 0; s < l; s++ {
+						c[s*n+int(wk[s])]++
+					}
 				}
-				counts[s*n+int(node)]++
 			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Prefix-sum cells into offsets, and rewrite each worker's count
+	// entry into its cursor start within the cell: worker w's entries for
+	// a cell begin after the entries of all lower-indexed (= lower source
+	// id) workers. That reproduces the serial order exactly.
+	m := &MeetIndex{ix: ix, offsets: make([]int32, cells+1)}
+	total := int32(0)
+	for cell := 0; cell < cells; cell++ {
+		m.offsets[cell] = total
+		for w := 0; w < workers; w++ {
+			c := counts[w][cell]
+			counts[w][cell] = total
+			total += c
 		}
 	}
-	m := &MeetIndex{ix: ix, offsets: make([]int32, n*steps+1)}
-	for i := 0; i < n*steps; i++ {
-		m.offsets[i+1] = m.offsets[i] + counts[i]
-	}
-	m.entries = make([]Slot, m.offsets[n*steps])
-	cursor := make([]int32, n*steps)
-	copy(cursor, m.offsets[:n*steps])
-	for v := 0; v < n; v++ {
-		for i := 0; i < ix.nw; i++ {
-			w := ix.Walk(hin.NodeID(v), i)
-			for s, node := range w {
-				if node == Stop {
-					break
-				}
-				cell := s*n + int(node)
-				m.entries[cursor[cell]] = Slot{Source: hin.NodeID(v), Walk: int32(i)}
-				cursor[cell]++
-			}
+	m.offsets[cells] = total
+	m.entries = make([]Slot, total)
+
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(cursor []int32, lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				for i := 0; i < ix.nw; i++ {
+					wk := ix.Walk(hin.NodeID(v), i)
+					l := ix.WalkLen(hin.NodeID(v), i)
+					for s := 0; s < l; s++ {
+						cell := s*n + int(wk[s])
+						m.entries[cursor[cell]] = Slot{Source: hin.NodeID(v), Walk: int32(i)}
+						cursor[cell]++
+					}
+				}
+			}
+		}(counts[w], lo, hi)
 	}
+	wg.Wait()
 	return m
 }
 
@@ -81,6 +151,21 @@ type Collision struct {
 	Tau   int   // first-meeting step
 }
 
+type collisionKey struct {
+	other hin.NodeID
+	walk  int32
+}
+
+// collisionScratch holds the per-enumeration map so repeated Collisions
+// calls (every single-source and top-k query runs one) reuse one
+// allocation instead of growing a fresh map each time.
+var collisionScratch = sync.Pool{
+	New: func() any {
+		m := make(map[collisionKey]int, 256)
+		return &m
+	},
+}
+
 // Collisions enumerates, for the query node u, every coupled first
 // meeting against every other source: for each walk slot i and the
 // earliest step s where some walk (v, i) visits the same node as walk
@@ -91,40 +176,45 @@ type Collision struct {
 // walks rather than to n * n_w * t, which is what makes single-source
 // queries cheap on sparse meeting structures.
 func (m *MeetIndex) Collisions(u hin.NodeID) []Collision {
+	return m.CollisionsAppend(nil, u)
+}
+
+// CollisionsAppend is Collisions appending into buf (which may be nil).
+// Passing a retained buffer makes repeated enumerations allocation-free
+// once the buffer has grown to the query's collision count.
+func (m *MeetIndex) CollisionsAppend(buf []Collision, u hin.NodeID) []Collision {
 	ix := m.ix
-	type key struct {
-		other hin.NodeID
-		walk  int32
-	}
-	first := make(map[key]int)
+	firstp := collisionScratch.Get().(*map[collisionKey]int)
+	first := *firstp
+	clear(first)
 	for i := 0; i < ix.nw; i++ {
 		w := ix.Walk(u, i)
-		for s, node := range w {
-			if node == Stop {
-				break
-			}
-			for _, slot := range m.At(s, hin.NodeID(node)) {
+		l := ix.WalkLen(u, i)
+		for s := 0; s < l; s++ {
+			for _, slot := range m.At(s, hin.NodeID(w[s])) {
 				if slot.Walk != int32(i) || slot.Source == u {
 					continue // only the coupled walk counts
 				}
-				k := key{slot.Source, slot.Walk}
+				k := collisionKey{slot.Source, slot.Walk}
 				if old, ok := first[k]; !ok || s < old {
 					first[k] = s
 				}
 			}
 		}
 	}
-	out := make([]Collision, 0, len(first))
+	start := len(buf)
 	for k, s := range first {
-		out = append(out, Collision{Other: k.other, Walk: k.walk, Tau: s})
+		buf = append(buf, Collision{Other: k.other, Walk: k.walk, Tau: s})
 	}
+	collisionScratch.Put(firstp)
+	out := buf[start:]
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Other != out[b].Other {
 			return out[a].Other < out[b].Other
 		}
 		return out[a].Walk < out[b].Walk
 	})
-	return out
+	return buf
 }
 
 // Entries reports the total number of inverted-index slots — the sum

@@ -76,6 +76,64 @@ func TestCollisionsMatchMeet(t *testing.T) {
 	}
 }
 
+// TestBuildMeetIndexParallelByteIdentical: the parallel build must
+// reproduce the serial build exactly — same offsets, same entries, same
+// order within every cell — for any worker count, including counts that
+// do not divide the node count evenly.
+func TestBuildMeetIndexParallelByteIdentical(t *testing.T) {
+	g := braid(t, 37)
+	ix, err := Build(g, Options{NumWalks: 18, Length: 9, Seed: 11})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	serial := buildMeetIndex(ix, 1)
+	for _, workers := range []int{2, 3, 4, 8, 64} {
+		par := buildMeetIndex(ix, workers)
+		if len(par.offsets) != len(serial.offsets) || len(par.entries) != len(serial.entries) {
+			t.Fatalf("workers=%d: size mismatch (%d/%d offsets, %d/%d entries)", workers,
+				len(par.offsets), len(serial.offsets), len(par.entries), len(serial.entries))
+		}
+		for i, off := range serial.offsets {
+			if par.offsets[i] != off {
+				t.Fatalf("workers=%d: offsets[%d] = %d, want %d", workers, i, par.offsets[i], off)
+			}
+		}
+		for i, e := range serial.entries {
+			if par.entries[i] != e {
+				t.Fatalf("workers=%d: entries[%d] = %+v, want %+v", workers, i, par.entries[i], e)
+			}
+		}
+	}
+}
+
+// TestCollisionsAppendReuse: appending into a retained buffer returns the
+// same collisions as a fresh enumeration, and reuses the buffer's
+// capacity when it suffices.
+func TestCollisionsAppendReuse(t *testing.T) {
+	g := braid(t, 12)
+	ix, err := Build(g, Options{NumWalks: 20, Length: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := BuildMeetIndex(ix)
+	buf := make([]Collision, 0, 4096)
+	for u := 0; u < g.NumNodes(); u++ {
+		want := m.Collisions(hin.NodeID(u))
+		buf = m.CollisionsAppend(buf[:0], hin.NodeID(u))
+		if len(buf) != len(want) {
+			t.Fatalf("u=%d: %d collisions, want %d", u, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("u=%d: collision %d = %+v, want %+v", u, i, buf[i], want[i])
+			}
+		}
+		if cap(buf) != 4096 {
+			t.Fatalf("u=%d: buffer reallocated (cap %d)", u, cap(buf))
+		}
+	}
+}
+
 func TestCollisionsSorted(t *testing.T) {
 	g := braid(t, 9)
 	ix, err := Build(g, Options{NumWalks: 10, Length: 6, Seed: 7})

@@ -79,5 +79,6 @@ func (ix *Index) Refresh(newG *hin.Graph, changed []hin.NodeID, seed int64) (*In
 		}
 	}
 	_ = resampled
+	out.fillLens()
 	return out, nil
 }

@@ -34,6 +34,11 @@ type Index struct {
 	t      int // steps per walk (truncation point)
 	stride int // t+1 positions per walk, position 0 is the start node
 	walks  []int32
+	// lens[v*nw+i] is the number of live (non-Stop) positions of walk
+	// (v, i), in [1, stride]. It lets Meet bound its scan up front and
+	// drop the two per-step Stop comparisons from the hottest loop in
+	// the repository (every Monte-Carlo query runs n_w Meet scans).
+	lens []int32
 }
 
 // Options configure Build.
@@ -90,6 +95,7 @@ func Build(g *hin.Graph, opts Options) (*Index, error) {
 		stride: opts.Length + 1,
 	}
 	ix.walks = make([]int32, n*ix.nw*ix.stride)
+	ix.lens = make([]int32, n*ix.nw)
 
 	sample := func(lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -136,12 +142,14 @@ func Build(g *hin.Graph, opts Options) (*Index, error) {
 
 // sampleWalk draws one uniform reversed walk from v into slot i.
 func (ix *Index) sampleWalk(v hin.NodeID, i int, rng *rng) {
-	w := ix.slot(v, i)
+	si := int(v)*ix.nw + i
+	w := ix.walks[si*ix.stride : (si+1)*ix.stride]
 	w[0] = int32(v)
 	cur := v
 	for s := 1; s <= ix.t; s++ {
 		in := ix.g.InNeighbors(cur)
 		if len(in) == 0 {
+			ix.lens[si] = int32(s)
 			for ; s <= ix.t; s++ {
 				w[s] = Stop
 			}
@@ -149,6 +157,25 @@ func (ix *Index) sampleWalk(v hin.NodeID, i int, rng *rng) {
 		}
 		cur = in[rng.intn(len(in))]
 		w[s] = int32(cur)
+	}
+	ix.lens[si] = int32(ix.stride)
+}
+
+// fillLens derives the per-walk live-length table from the walk storage.
+// Build maintains lens as it samples; Load and Refresh reconstruct walks
+// wholesale and call this afterwards.
+func (ix *Index) fillLens() {
+	ix.lens = make([]int32, ix.n*ix.nw)
+	for si := range ix.lens {
+		w := ix.walks[si*ix.stride : (si+1)*ix.stride]
+		l := int32(ix.stride)
+		for s, node := range w {
+			if node == Stop {
+				l = int32(s)
+				break
+			}
+		}
+		ix.lens[si] = l
 	}
 }
 
@@ -175,21 +202,35 @@ func (ix *Index) Walk(v hin.NodeID, i int) []int32 { return ix.slot(v, i) }
 // (Section 4.1). ok is false if they never meet within t steps.
 //
 // Offset 0 meets only when u == v, matching c^0 = 1 and sim(u,u) = 1.
+// The scan is bounded by the shorter walk's live length (precomputed at
+// build time), so the loop body is a single equality comparison — no
+// per-step Stop checks.
 func (ix *Index) Meet(u, v hin.NodeID, i int) (tau int, ok bool) {
-	wu := ix.slot(u, i)
-	wv := ix.slot(v, i)
-	for s := 0; s < ix.stride; s++ {
-		a, b := wu[s], wv[s]
-		if a == Stop || b == Stop {
-			return 0, false
-		}
-		if a == b {
+	su := int(u)*ix.nw + i
+	sv := int(v)*ix.nw + i
+	lim := ix.lens[su]
+	if l := ix.lens[sv]; l < lim {
+		lim = l
+	}
+	wu := ix.walks[su*ix.stride:]
+	wv := ix.walks[sv*ix.stride:]
+	for s := 0; s < int(lim); s++ {
+		if wu[s] == wv[s] {
 			return s, true
 		}
 	}
 	return 0, false
 }
 
+// WalkLen reports the number of live (non-Stop) positions of walk (v, i),
+// in [1, Length()+1]. Callers iterating a walk can bound their loop with
+// it instead of testing each step against Stop.
+func (ix *Index) WalkLen(v hin.NodeID, i int) int {
+	return int(ix.lens[int(v)*ix.nw+i])
+}
+
 // MemoryBytes estimates the index storage, reported by the preprocessing
 // experiment.
-func (ix *Index) MemoryBytes() int64 { return int64(len(ix.walks)) * 4 }
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.walks))*4 + int64(len(ix.lens))*4
+}

@@ -192,7 +192,8 @@ func TestDefaults(t *testing.T) {
 	if ix.NumWalks() != DefaultNumWalks || ix.Length() != DefaultLength {
 		t.Fatalf("defaults = %d,%d; want %d,%d", ix.NumWalks(), ix.Length(), DefaultNumWalks, DefaultLength)
 	}
-	if ix.MemoryBytes() != int64(3*DefaultNumWalks*(DefaultLength+1)*4) {
+	// Walk storage plus the per-walk length table.
+	if ix.MemoryBytes() != int64(3*DefaultNumWalks*(DefaultLength+1)*4+3*DefaultNumWalks*4) {
 		t.Fatalf("MemoryBytes = %d", ix.MemoryBytes())
 	}
 }

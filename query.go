@@ -8,6 +8,7 @@ import (
 	"semsim/internal/mc"
 	"semsim/internal/pairgraph"
 	"semsim/internal/rank"
+	"semsim/internal/semantic"
 	"semsim/internal/simrank"
 	"semsim/internal/walk"
 )
@@ -37,6 +38,26 @@ type IndexOptions struct {
 	// memoizes the O(d^2) per-step normalization for pairs with
 	// sem >= cutoff (paper uses 0.1). 0 disables the cache.
 	SLINGCutoff float64
+	// SemanticKernel controls the precomputed semantic layer
+	// (semantic.Kernel) wrapped around the measure before any estimator
+	// or cache sees it:
+	//
+	//   - "" or "auto" (the default): wrap the stock immutable measures
+	//     (Lin, Resnik, Wu-Palmer, Jiang-Conrath, Path, Uniform); leave
+	//     Overrides, Funcs and other custom measures untouched, since
+	//     the kernel snapshots values and would freeze later mutation;
+	//   - "on": always wrap (custom measures fall back to per-node
+	//     classes — still correct, just without concept collapsing);
+	//   - "off": never wrap.
+	//
+	// The kernel turns every sem(u,v) on the query path into one array
+	// read (dense mode) or a striped memo probe, with values
+	// bit-identical to the wrapped measure.
+	SemanticKernel string
+	// KernelMemoryBudget caps the kernel's dense concept-pair matrix in
+	// bytes (0 uses semantic.DefaultKernelBudget, 64 MiB). Above the
+	// budget the kernel falls back to its sharded memo cache.
+	KernelMemoryBudget int64
 	// Seed makes the index deterministic.
 	Seed int64
 	// Parallel shards walk sampling across CPUs.
@@ -119,6 +140,7 @@ type Index struct {
 	metrics *Metrics
 	eng     engine.Backend
 	planner *engine.Planner
+	kernel  *semantic.Kernel
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
@@ -158,6 +180,21 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 // the shared tail of BuildIndex and LoadIndex, with per-phase metrics
 // and trace spans.
 func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index, error) {
+	var kern *semantic.Kernel
+	if wrapKernel(sem, opts.SemanticKernel) {
+		sp := opts.Trace.Start("semantic-kernel")
+		k, err := semantic.NewKernel(sem, g.NumNodes(), semantic.KernelOptions{
+			MemoryBudget: opts.KernelMemoryBudget,
+			Workers:      opts.Workers,
+			Metrics:      opts.Metrics,
+		})
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+		sem = k
+	}
 	var cache *mc.SOCache
 	if opts.SLINGCutoff > 0 {
 		sp := opts.Trace.Start("sling-cache-init")
@@ -168,7 +205,12 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 				"wall time of the eager SLING cache precomputation", nil)
 			sp = opts.Trace.Start("sling-cache-warm")
 			tw := warmLat.Start()
-			cache.Precompute()
+			// Prefer the dense triangular SO table (one array read per
+			// probe); past its budget, fall back to the parallel striped
+			// warm. Both store bit-identical values.
+			if !cache.EnableDense(0, opts.Workers) {
+				cache.PrecomputeParallel(opts.Workers)
+			}
 			warmLat.ObserveSince(tw)
 			sp.End()
 		}
@@ -184,7 +226,7 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{g: g, walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics}
+	idx := &Index{g: g, walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics, kernel: kern}
 	if opts.MeetIndex {
 		meetLat := opts.Metrics.Histogram("semsim_build_meet_index_seconds",
 			"wall time of the inverted meet-index pass", nil)
@@ -195,7 +237,9 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 		sp.End()
 	}
 	if opts.AutoPlan {
-		idx.planner = engine.NewPlanner(engine.CollectStats(g, ix, idx.meet), opts.Metrics)
+		st := engine.CollectStats(g, ix, idx.meet)
+		st.DenseSemKernel = kern != nil && kern.DenseMode()
+		idx.planner = engine.NewPlanner(st, opts.Metrics)
 	}
 	backendLat := opts.Metrics.Histogram("semsim_build_backend_seconds",
 		"wall time of the engine-backend construction (fixpoint solves for reduced/exact)", nil)
@@ -215,8 +259,37 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 	return idx, nil
 }
 
+// wrapKernel decides whether assemble wraps the measure in a
+// semantic.Kernel, per IndexOptions.SemanticKernel.
+func wrapKernel(sem Measure, mode string) bool {
+	switch mode {
+	case "off":
+		return false
+	case "on":
+		_, already := sem.(*semantic.Kernel)
+		return !already
+	default: // "" / "auto": only the stock immutable measures
+		switch sem.(type) {
+		case semantic.Lin, semantic.Resnik, semantic.WuPalmer,
+			semantic.JiangConrath, semantic.Path, semantic.Uniform:
+			return true
+		}
+		return false
+	}
+}
+
 // Backend reports the engine backend name the index delegates to.
 func (ix *Index) Backend() string { return ix.eng.Name() }
+
+// KernelMode reports the semantic kernel's storage mode — "dense" or
+// "memo" — or "" when no kernel is attached (SemanticKernel "off", or
+// "auto" with a custom measure).
+func (ix *Index) KernelMode() string {
+	if ix.kernel == nil {
+		return ""
+	}
+	return ix.kernel.Mode()
+}
 
 // Query estimates the SemSim score of (u,v) in [0,1] via the selected
 // backend. Node IDs are bounds-checked: an id outside the graph scores
@@ -367,6 +440,9 @@ func (ix *Index) MemoryBytes() int64 {
 	m := ix.walks.MemoryBytes()
 	if ix.cache != nil {
 		m += ix.cache.MemoryBytes()
+	}
+	if ix.kernel != nil {
+		m += ix.kernel.MemoryBytes()
 	}
 	if ix.meet != nil {
 		m += ix.meet.MemoryBytes()
