@@ -415,6 +415,105 @@ func BenchmarkTopK10Metrics(b *testing.B) {
 	}
 }
 
+// --- Estimate-quality benchmarks -------------------------------------
+
+// shadowEnv holds the shadow-overhead twin indexes. They live on a
+// smaller AMiner graph than the main benchEnv because the shadow-on
+// index builds an exact reference backend at construction — affordable
+// here, hours on the Amazon graph's retained pair set. The smaller
+// graph also makes the comparison conservative: queries are cheaper, so
+// the fixed per-query shadow cost is a larger fraction of ns/op.
+type shadowEnv struct {
+	off *semsim.Index // instrumented, shadow disabled
+	on  *semsim.Index // identical, shadow verifier at 1/256
+	n   int
+}
+
+var shadowEnvCache *shadowEnv
+
+func shadowTwins(b *testing.B) *shadowEnv {
+	b.Helper()
+	if shadowEnvCache != nil {
+		return shadowEnvCache
+	}
+	d, err := datagen.AMiner(datagen.AMinerConfig{Authors: 150, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := semsim.IndexOptions{
+		NumWalks: 150, WalkLength: 15, Theta: 0.05, SLINGCutoff: 0.1, Seed: 3, Parallel: true,
+		WarmCache: true,
+	}
+	opts.Metrics = semsim.NewMetrics()
+	off, err := semsim.BuildIndex(d.Graph, d.Lin, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Metrics = semsim.NewMetrics()
+	opts.ShadowRate = 256
+	opts.ShadowBackend = "exact"
+	opts.ShadowQueue = 4096
+	on, err := semsim.BuildIndex(d.Graph, d.Lin, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shadowEnvCache = &shadowEnv{off: off, on: on, n: d.Graph.NumNodes()}
+	return shadowEnvCache
+}
+
+// BenchmarkQueryShadowOff / BenchmarkQueryShadowSampled are the shadow
+// overhead twins: identical instrumented facade indexes, the second with
+// the shadow verifier sampling 1 in 256 queries onto a background
+// worker. The budget is <= 2% ns/op and 0 allocs/op delta — the hot
+// path pays one atomic counter and, every 256th call, one value-struct
+// channel send.
+
+func BenchmarkQueryShadowOff(b *testing.B) {
+	e := shadowTwins(b)
+	for i := 0; i < 1024; i++ {
+		e.off.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.off.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+}
+
+func BenchmarkQueryShadowSampled(b *testing.B) {
+	e := shadowTwins(b)
+	for i := 0; i < 1024; i++ {
+		e.on.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.on.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+}
+
+// BenchmarkExplainQuery measures the /explain evidence path against
+// BenchmarkQuerySemSimPrunedSLINGMetrics (same graph, same pairs, same
+// instrumented configuration): the delta is the cost of recording
+// per-step meeting counts and the CLT/skewness statistics, plus the
+// Explanation allocation itself. Explaining is per-request opt-in, so
+// this cost is only paid when asked for.
+func BenchmarkExplainQuery(b *testing.B) {
+	e := env(b)
+	n := e.d.Graph.NumNodes()
+	for i := 0; i < 1024; i++ {
+		e.idxM.Query(hin.NodeID(i*7%n), hin.NodeID((i*13+1)%n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		if _, err := e.idxM.ExplainQuery(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSemSimExactIterative measures one full iterative solve on a
 // small graph (the ground-truth path of Tables 4/5).
 func BenchmarkSemSimExactIterative(b *testing.B) {

@@ -3,7 +3,9 @@
 #
 #   1. build + vet + full test suite        (functional correctness),
 #      plus the observability smoke test: starts the semsim serve
-#      debug server, scrapes /metrics and asserts the core series
+#      debug server, scrapes /metrics and asserts the core series,
+#      then lints a live /metrics scrape with cmd/promlint (the 0.0.4
+#      exposition-format gate)
 #   2. full test suite under -race          (concurrency correctness —
 #      the stress tests drive 8+ goroutines through one shared cached
 #      Index and assert bit-identical results vs serial runs; includes
@@ -27,6 +29,29 @@ go test ./...
 
 echo "==> tier 1: serve observability smoke test"
 go test ./cmd/semsim/ -run TestServeSmoke -count=1
+
+echo "==> tier 1: /metrics exposition lint (promlint scrape of a live server)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$tmpdir/semsim" ./cmd/semsim
+go run ./cmd/datagen -dataset aminer -size 200 -seed 1 -out "$tmpdir/smoke.hin"
+"$tmpdir/semsim" serve -graph "$tmpdir/smoke.hin" -debug-addr 127.0.0.1:0 \
+    -nw 40 -t 6 -query-log "$tmpdir/query.ndjson" 2> "$tmpdir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*serving on http://\([0-9.:]*\).*|\1|p' "$tmpdir/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$tmpdir/serve.log"; echo "ci: serve died"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { cat "$tmpdir/serve.log"; echo "ci: serve never bound"; exit 1; }
+go run ./cmd/promlint -url "http://$addr/metrics"
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+[ -f "$tmpdir/query.ndjson" ] || { echo "ci: -query-log file was never created"; exit 1; }
+echo "    /metrics exposition clean"
 
 echo "==> tier 2: race detector"
 go test -race ./...

@@ -1,0 +1,91 @@
+// Command promlint validates Prometheus text exposition (0.0.4) input —
+// the CI gate that keeps the semsim /metrics endpoint scrapeable. It
+// checks TYPE/HELP placement, metric and label syntax (including label
+// value escaping), sample values, and histogram bucket monotonicity;
+// see internal/promlint for the full rule set.
+//
+//	promlint FILE...           lint files
+//	promlint                   lint stdin
+//	promlint -url URL          scrape URL (with retries) and lint the body
+//
+// Exit status 0 when every input is clean, 1 on problems (each printed
+// as "input: line N: message"), 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"semsim/internal/promlint"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape this URL and lint the response body")
+		retries = flag.Int("retries", 10, "scrape attempts before giving up (with -url)")
+		wait    = flag.Duration("retry-wait", 200*time.Millisecond, "delay between scrape attempts (with -url)")
+	)
+	flag.Parse()
+
+	failed := false
+	lint := func(name string, r io.Reader) {
+		for _, p := range promlint.Lint(r) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", name, p)
+			failed = true
+		}
+	}
+
+	switch {
+	case *url != "":
+		body, err := scrape(*url, *retries, *wait)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		lint(*url, body)
+		body.Close()
+	case flag.NArg() == 0:
+		lint("stdin", os.Stdin)
+	default:
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promlint:", err)
+				os.Exit(2)
+			}
+			lint(path, f)
+			f.Close()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// scrape GETs url, retrying while the server comes up — promlint's CI
+// role is to lint a freshly started exporter, so connection refusals
+// within the retry budget are expected, not fatal.
+func scrape(url string, retries int, wait time.Duration) (io.ReadCloser, error) {
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(wait)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET %s: %s", url, resp.Status)
+			continue
+		}
+		return resp.Body, nil
+	}
+	return nil, fmt.Errorf("scrape failed after %d attempts: %w", retries, lastErr)
+}

@@ -12,10 +12,14 @@
 // node, -t walk length, -sling SO-cache cutoff, -seed, -backend engine
 // backend (mc|reduced|exact), -autoplan adaptive top-k planning. The
 // walk index can be persisted across runs with -save-walks FILE /
-// -load-walks FILE. serve additionally takes -debug-addr (required) and
-// -warmup, mounts /metrics, /debug/vars and /debug/pprof/ next to the
-// query API, and shuts down gracefully on SIGINT/SIGTERM (in-flight
-// requests drain, a final metrics snapshot is logged).
+// -load-walks FILE. serve additionally takes -debug-addr (required),
+// -warmup, -shadow-rate/-shadow-backend (sampled shadow verification on
+// an exact reference backend), -query-log (JSON wide-event log) and
+// -health-interval (runtime telemetry cadence); it mounts /metrics,
+// /debug/vars and /debug/pprof/ next to the query API (including
+// /explain estimate-quality traces), and shuts down gracefully on
+// SIGINT/SIGTERM (in-flight requests drain, a final metrics snapshot is
+// logged).
 package main
 
 import (
@@ -55,6 +59,14 @@ func main() {
 		kernelMem = fs.Int64("kernel-budget", 0, "dense kernel memory budget in bytes (0 = 64 MiB default)")
 		debugAddr = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
 		warmup    = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
+		shadowRate = fs.Int("shadow-rate", 256,
+			"serve: re-score 1 in N queries on an exact reference backend off the hot path (0 disables shadow verification)")
+		shadowBackend = fs.String("shadow-backend", "",
+			"serve: reference backend for shadow verification (exact|reduced; empty picks by graph size)")
+		queryLog = fs.String("query-log", "",
+			"serve: append one JSON wide event per request to this file ('-' = stdout)")
+		healthEvery = fs.Duration("health-interval", 0,
+			"serve: runtime health poll interval (0 = 10s default)")
 	)
 	fs.Parse(os.Args[2:])
 	if *graphPath == "" {
@@ -165,13 +177,16 @@ func main() {
 			fatal("serve needs -debug-addr")
 		}
 		err := runServe(g, lin, serveConfig{
-			debugAddr: *debugAddr,
-			warmup:    *warmup,
+			debugAddr:      *debugAddr,
+			warmup:         *warmup,
+			queryLogPath:   *queryLog,
+			healthInterval: *healthEvery,
 			opts: semsim.IndexOptions{
 				NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
 				SLINGCutoff: *sling, Seed: *seed, Parallel: true,
 				Backend: *backend, AutoPlan: *autoplan,
 				SemanticKernel: *kernel, KernelMemoryBudget: *kernelMem,
+				ShadowRate: *shadowRate, ShadowBackend: *shadowBackend,
 			},
 		}, nil)
 		if err != nil {

@@ -6,6 +6,7 @@ package main
 //	semsim serve -graph g.hin -debug-addr :6060
 //
 //	/query?u=NAME&v=NAME   similarity of one pair (JSON)
+//	/explain?u=NAME&v=NAME estimate-quality evidence: CI, variance, pruning (JSON)
 //	/topk?u=NAME&k=10      top-k most similar nodes (JSON)
 //	/snapshot              structured metrics snapshot (JSON)
 //	/metrics               Prometheus text exposition
@@ -13,20 +14,31 @@ package main
 //	/debug/pprof/          net/http/pprof profiles
 //	/healthz               liveness probe
 //
+// Errors are structured JSON ({"error": "..."}) with meaningful status
+// codes: 400 for malformed parameters, 404 for unknown nodes (including
+// engine bounds errors), 500 otherwise.
+//
 // Startup runs -warmup queries (default 4) so the latency histograms
 // and cache statistics are populated before the first scrape. The
 // server always builds the meet index and attaches the adaptive query
 // planner, so /metrics carries the semsim_plan_total{strategy="..."}
-// decision counters.
+// decision counters. The estimate-quality layer is on by default: the
+// shadow verifier re-scores 1 in -shadow-rate queries on an exact
+// reference backend (semsim_shadow_* series; 0 disables) and the
+// runtime health collector polls memory/GC/goroutine gauges every
+// -health-interval (semsim_runtime_* series). With -query-log PATH
+// ("-" for stdout) every request additionally emits one structured
+// JSON wide event with latency, scores, CI width and cache state.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stops the listener, in-flight
 // requests get shutdownTimeout (default 5s) to drain via
-// http.Server.Shutdown, and a final metrics snapshot is logged before
-// the process exits.
+// http.Server.Shutdown, the shadow verifier drains its queue, and a
+// final metrics snapshot is logged before the process exits.
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	"semsim"
+	"semsim/internal/obs/quality"
 )
 
 // serveConfig carries everything the serve subcommand needs besides the
@@ -48,6 +61,11 @@ type serveConfig struct {
 	debugAddr string
 	warmup    int
 	opts      semsim.IndexOptions
+	// queryLogPath, when non-empty, streams one JSON wide event per
+	// request to this file ("-" = stdout).
+	queryLogPath string
+	// healthInterval is the runtime health poll cadence (0 = default).
+	healthInterval time.Duration
 	// stop, when non-nil, replaces the SIGINT/SIGTERM trap — closing it
 	// initiates the same graceful shutdown (used by tests).
 	stop <-chan struct{}
@@ -79,6 +97,19 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	if err != nil {
 		return err
 	}
+	defer idx.Close()
+
+	var qlog *quality.QueryLog
+	if cfg.queryLogPath != "" {
+		w, closeLog, err := openQueryLog(cfg.queryLogPath)
+		if err != nil {
+			return err
+		}
+		defer closeLog()
+		qlog = quality.NewQueryLog(w, reg)
+	}
+	health := quality.StartHealth(reg, cfg.healthInterval)
+	defer health.Stop()
 
 	// Warm-up traffic: populates the query histogram, the pruning
 	// counters and the SLING cache so the first scrape is non-empty.
@@ -94,7 +125,7 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	fmt.Fprint(logw, tr.String())
 
 	reg.PublishExpvar("semsim")
-	mux := newServeMux(g, sem, idx, reg)
+	mux := newServeMux(g, sem, idx, reg, qlog)
 
 	l, err := net.Listen("tcp", cfg.debugAddr)
 	if err != nil {
@@ -132,8 +163,22 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	shutdownErr := srv.Shutdown(ctx)
+	idx.Close() // drain pending shadow verifications before the final snapshot
 	logFinalSnapshot(logw, idx)
 	return shutdownErr
+}
+
+// openQueryLog resolves the -query-log destination: "-" streams to
+// stdout, anything else appends to the named file.
+func openQueryLog(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("semsim: open query log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // logFinalSnapshot writes a one-line summary plus the full structured
@@ -151,19 +196,37 @@ func logFinalSnapshot(w io.Writer, idx *semsim.Index) {
 	}
 }
 
+// writeJSONError replies with the structured error shape every endpoint
+// shares: {"error": "..."} under the given status code.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// errorStatus maps an index error to its HTTP status: engine bounds
+// errors (unknown node) are the client's fault, everything else is
+// ours.
+func errorStatus(err error) int {
+	if errors.Is(err, semsim.ErrNodeOutOfRange) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
 // newServeMux mounts the query API and the three debug surfaces.
-func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *semsim.Metrics) *http.ServeMux {
+func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *semsim.Metrics, qlog *quality.QueryLog) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	node := func(w http.ResponseWriter, r *http.Request, param string) (semsim.NodeID, bool) {
 		name := r.URL.Query().Get(param)
 		if name == "" {
-			http.Error(w, "missing ?"+param+"=NODE", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "missing ?"+param+"=NODE")
 			return 0, false
 		}
 		id, ok := g.NodeByName(name)
 		if !ok {
-			http.Error(w, "unknown node "+name, http.StatusNotFound)
+			writeJSONError(w, http.StatusNotFound, "unknown node "+name)
 			return 0, false
 		}
 		return id, true
@@ -176,6 +239,7 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 	}
 
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		u, ok := node(w, r, "u")
 		if !ok {
 			return
@@ -184,16 +248,52 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 		if !ok {
 			return
 		}
+		score := idx.Query(u, v)
 		writeJSON(w, map[string]any{
 			"u":       g.NodeName(u),
 			"v":       g.NodeName(v),
 			"sem":     sem.Sim(u, v),
-			"semsim":  idx.Query(u, v),
+			"semsim":  score,
 			"simrank": idx.SimRankQuery(u, v),
+		})
+		qlog.Log(quality.QueryEvent{
+			Endpoint: "/query", U: g.NodeName(u), V: g.NodeName(v),
+			Status: http.StatusOK, Score: score,
+			LatencySeconds: time.Since(t0).Seconds(),
+			Backend:        idx.Backend(),
+			CacheHitRatio:  idx.CacheSummary().HitRatio,
+		})
+	})
+
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		u, ok := node(w, r, "u")
+		if !ok {
+			return
+		}
+		v, ok := node(w, r, "v")
+		if !ok {
+			return
+		}
+		ex, err := idx.ExplainQuery(u, v)
+		if err != nil {
+			writeJSONError(w, errorStatus(err), err.Error())
+			return
+		}
+		ex.UName, ex.VName = g.NodeName(u), g.NodeName(v)
+		writeJSON(w, ex)
+		qlog.Log(quality.QueryEvent{
+			Endpoint: "/explain", U: ex.UName, V: ex.VName,
+			Status: http.StatusOK, Score: ex.Score,
+			LatencySeconds: time.Since(t0).Seconds(),
+			Backend:        ex.Backend,
+			CIWidth:        ex.CIWidth(),
+			CacheHitRatio:  idx.CacheSummary().HitRatio,
 		})
 	})
 
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		u, ok := node(w, r, "u")
 		if !ok {
 			return
@@ -202,7 +302,7 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 		if s := r.URL.Query().Get("k"); s != "" {
 			var err error
 			if k, err = strconv.Atoi(s); err != nil || k < 1 {
-				http.Error(w, "bad ?k", http.StatusBadRequest)
+				writeJSONError(w, http.StatusBadRequest, "bad ?k: want a positive integer")
 				return
 			}
 		}
@@ -215,6 +315,14 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 			hits = append(hits, hit{g.NodeName(s.Node), s.Score})
 		}
 		writeJSON(w, map[string]any{"u": g.NodeName(u), "k": k, "results": hits})
+		qlog.Log(quality.QueryEvent{
+			Endpoint: "/topk", U: g.NodeName(u), K: k,
+			Status: http.StatusOK, Results: len(hits),
+			LatencySeconds: time.Since(t0).Seconds(),
+			Backend:        idx.Backend(),
+			Strategy:       idx.PlanStrategy(k),
+			CacheHitRatio:  idx.CacheSummary().HitRatio,
+		})
 	})
 
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {

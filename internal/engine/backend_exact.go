@@ -6,6 +6,7 @@ import (
 	"semsim/internal/core"
 	"semsim/internal/hin"
 	"semsim/internal/rank"
+	"semsim/internal/semantic"
 	"semsim/internal/simmat"
 )
 
@@ -25,7 +26,17 @@ const DefaultMaxExactNodes = 4096
 // row scan.
 type exactBackend struct {
 	g      *hin.Graph
+	sem    semantic.Measure
 	scores *simmat.Matrix
+}
+
+// semOf evaluates the semantic measure for an Explanation (sem(u,u)=1
+// by definition without a measure probe).
+func (b *exactBackend) semOf(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	return b.sem.Sim(u, v)
 }
 
 func newExactBackend(cfg Config) (Backend, error) {
@@ -43,7 +54,7 @@ func newExactBackend(cfg Config) (Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &exactBackend{g: cfg.Graph, scores: res.Scores}, nil
+	return &exactBackend{g: cfg.Graph, sem: cfg.Sem, scores: res.Scores}, nil
 }
 
 func (b *exactBackend) Name() string { return "exact" }

@@ -4,6 +4,7 @@ import (
 	"semsim/internal/hin"
 	"semsim/internal/pairgraph"
 	"semsim/internal/rank"
+	"semsim/internal/semantic"
 )
 
 func init() {
@@ -30,8 +31,19 @@ const reduceBuildBudget = 2e4
 // backend suits mid-sized graphs whose semantic measure separates pairs
 // well; queries are O(1) map lookups.
 type reducedBackend struct {
-	g   *hin.Graph
-	red *pairgraph.Reduced
+	g     *hin.Graph
+	sem   semantic.Measure
+	theta float64
+	red   *pairgraph.Reduced
+}
+
+// semOf evaluates the semantic measure for an Explanation (sem(u,u)=1
+// by definition without a measure probe).
+func (b *reducedBackend) semOf(u, v hin.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	return b.sem.Sim(u, v)
 }
 
 func newReducedBackend(cfg Config) (Backend, error) {
@@ -57,7 +69,7 @@ func newReducedBackend(cfg Config) (Backend, error) {
 	if err := red.Solve(iters, tol); err != nil {
 		return nil, err
 	}
-	return &reducedBackend{g: cfg.Graph, red: red}, nil
+	return &reducedBackend{g: cfg.Graph, sem: cfg.Sem, theta: theta, red: red}, nil
 }
 
 func (b *reducedBackend) Name() string { return "reduced" }

@@ -143,13 +143,19 @@ func New(name string, cfg Config) (Backend, error) {
 	return f(cfg)
 }
 
+// ErrNodeOutOfRange is the sentinel wrapped by every bounds-validation
+// failure, letting callers (the HTTP server's 404 mapping) distinguish
+// "unknown node" from other errors with errors.Is instead of matching
+// message text.
+var ErrNodeOutOfRange = fmt.Errorf("node id out of range")
+
 // CheckNode validates that u indexes a node of g. All backend entry
 // points run it before touching walk or matrix storage: the walk index
 // slices by node id unchecked, so an out-of-range id from an untrusted
 // caller would otherwise panic deep inside the scoring loop.
 func CheckNode(g *hin.Graph, u hin.NodeID) error {
 	if int(u) < 0 || int(u) >= g.NumNodes() {
-		return fmt.Errorf("engine: node id %d out of range [0,%d)", u, g.NumNodes())
+		return fmt.Errorf("engine: %w: %d not in [0,%d)", ErrNodeOutOfRange, u, g.NumNodes())
 	}
 	return nil
 }

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"time"
+
+	"semsim/internal/hin"
+	"semsim/internal/obs/quality"
+)
+
+// Explainer is implemented by backends that can answer a query together
+// with the estimate-quality evidence behind it (walk samples, variance,
+// confidence interval, pruning accounting). The facade's ExplainQuery
+// type-asserts for it and synthesizes a generic explanation for
+// backends that don't implement it.
+type Explainer interface {
+	Explain(u, v hin.NodeID) (*quality.Explanation, error)
+}
+
+// Explain on the mc backend delegates to the estimator's
+// evidence-recording query twin. Explanation.Score is bit-identical to
+// Query(u, v).
+func (b *mcBackend) Explain(u, v hin.NodeID) (*quality.Explanation, error) {
+	if err := CheckPair(b.g, u, v); err != nil {
+		return nil, err
+	}
+	return b.est.Explain(u, v), nil
+}
+
+// Explain on the exact backend reports the converged fixpoint score
+// with a degenerate (zero-width) interval — exact values carry no
+// sampling uncertainty.
+func (b *exactBackend) Explain(u, v hin.NodeID) (*quality.Explanation, error) {
+	if err := CheckPair(b.g, u, v); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	s := b.scores.At(u, v)
+	ex := exactExplanation(u, v, s, b.Name())
+	ex.Sem = b.semOf(u, v)
+	ex.ElapsedSeconds = time.Since(t0).Seconds()
+	return ex, nil
+}
+
+// Explain on the reduced backend reports the solved G^2_theta score.
+// Retained pairs are exact (Theorem 3.5); dropped pairs score 0 with a
+// one-sided error bounded by the retention threshold, surfaced as the
+// pruning envelope.
+func (b *reducedBackend) Explain(u, v hin.NodeID) (*quality.Explanation, error) {
+	if err := CheckPair(b.g, u, v); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	s := b.red.Score(u, v)
+	ex := exactExplanation(u, v, s, b.Name())
+	ex.Sem = b.semOf(u, v)
+	ex.Theta = b.theta
+	if s == 0 && u != v {
+		// A zero from the reduced backend cannot distinguish "truly
+		// dissimilar" from "dropped by the reduction"; either way the
+		// true score is at most min(sem, theta).
+		env := b.theta
+		if ex.Sem < env {
+			env = ex.Sem
+		}
+		ex.SemSkipped = ex.Sem <= b.theta
+		ex.PruneEnvelope = env
+	}
+	ex.ElapsedSeconds = time.Since(t0).Seconds()
+	return ex, nil
+}
+
+// exactExplanation is the shared degenerate-interval record of the
+// exact-family backends.
+func exactExplanation(u, v hin.NodeID, score float64, backend string) *quality.Explanation {
+	return &quality.Explanation{
+		U:            int(u),
+		V:            int(v),
+		Backend:      backend,
+		Exact:        true,
+		Score:        score,
+		Mean:         score,
+		CILow:        score,
+		CIHigh:       score,
+		CIConfidence: quality.Confidence,
+		SOCacheMode:  "none",
+	}
+}

@@ -118,7 +118,7 @@ func NewPlanner(stats Stats, reg *obs.Registry) *Planner {
 	p := &Planner{stats: stats}
 	for s := Strategy(0); s < numStrategies; s++ {
 		p.plans[s] = reg.Counter(
-			fmt.Sprintf("semsim_plan_total{strategy=%q}", s.String()),
+			obs.SeriesName("semsim_plan_total", "strategy", s.String()),
 			"top-k queries routed to each execution strategy by the adaptive planner")
 	}
 	return p
@@ -126,6 +126,11 @@ func NewPlanner(stats Stats, reg *obs.Registry) *Planner {
 
 // Stats returns the statistics the planner decides from.
 func (p *Planner) Stats() Stats { return p.stats }
+
+// Peek returns the strategy the planner would pick, without recording a
+// decision — introspection for explain traces and wide-event logs. The
+// choice is deterministic, so Peek always matches the next TopKStrategy.
+func (p *Planner) Peek() Strategy { return p.pick() }
 
 // TopKStrategy picks the strategy for one top-k query and records the
 // decision. The choice is a deterministic function of the build-time

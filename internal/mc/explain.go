@@ -1,0 +1,133 @@
+package mc
+
+import (
+	"time"
+
+	"semsim/internal/hin"
+	"semsim/internal/obs/quality"
+	"semsim/internal/semantic"
+)
+
+// Explain evaluates sim(u,v) exactly like Query while recording the
+// evidence behind the estimate: per-step meeting counts, the empirical
+// variance and CLT confidence interval over the n_w per-walk
+// contributions, theta-pruning accounting and cache/kernel provenance.
+//
+// The contract is observe-don't-perturb: Explain walks the identical
+// meet/score loop in the identical order, so Explanation.Score is
+// bit-identical to Query(u, v) on the same index, and the shared
+// pruning counters (sem-skips, walk caps, walks coupled) advance
+// exactly as a plain query would advance them.
+func (e *Estimator) Explain(u, v hin.NodeID) *quality.Explanation {
+	t0 := time.Now()
+	ex := &quality.Explanation{
+		U:            int(u),
+		V:            int(v),
+		Backend:      "mc",
+		Theta:        e.theta,
+		CIConfidence: quality.Confidence,
+		SOCacheMode:  e.cacheMode(),
+		KernelMode:   e.kernelMode(),
+	}
+	e.explain(u, v, ex)
+	ex.ElapsedSeconds = time.Since(t0).Seconds()
+	e.m.explains.Inc()
+	e.m.explainLat.ObserveDuration(time.Since(t0))
+	return ex
+}
+
+// explain is the evidence-recording twin of query (mc.go). Any change
+// to query's control flow must be mirrored here — the bit-identity test
+// in explain_test.go catches divergence.
+func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
+	if u == v {
+		// sim(u,u) = 1 by definition — no sampling involved, so the
+		// interval is degenerate.
+		ex.Score, ex.Sem = 1, 1
+		ex.Mean, ex.CILow, ex.CIHigh = 1, 1, 1
+		return
+	}
+	semUV := e.sem.Sim(u, v)
+	ex.Sem = semUV
+	if e.theta > 0 && semUV <= e.theta {
+		// Algorithm 1 lines 2-3: the whole pair is pruned. The estimate
+		// carries no sampling uncertainty (it is the constant 0); the
+		// only error is the pruning envelope, bounded by sem itself via
+		// Prop 2.5 (sim <= sem <= theta).
+		e.m.semSkips.Inc()
+		ex.SemSkipped = true
+		ex.PruneEnvelope = semUV
+		return
+	}
+	nw := e.ix.NumWalks()
+	ex.NumWalks = nw
+	ex.MeetsByStep = make([]int64, e.ix.Length()+1)
+	var total, sumSq, sumCube float64
+	var coupled, capped int64
+	for i := 0; i < nw; i++ {
+		tau, ok := e.ix.Meet(u, v, i)
+		if !ok {
+			continue
+		}
+		coupled++
+		ex.MeetsByStep[tau]++
+		s, hitCap := e.walkScore(u, v, i, tau)
+		if hitCap {
+			capped++
+		}
+		total += s
+		sumSq += s * s
+		sumCube += s * s * s
+	}
+	e.m.walksCoupled.Add(coupled)
+	e.m.walkCaps.Add(capped)
+	ex.WalksCoupled = int(coupled)
+	ex.WalkCaps = int(capped)
+
+	mean, variance, stderr, lo, hi := quality.CLT(semUV, nw, total, sumSq)
+	ex.Mean, ex.Variance, ex.StdErr = mean, variance, stderr
+	// Johnson's skewness correction recenters the interval: importance
+	// weights are right-skewed, so the symmetric CLT interval misses
+	// high more often than 1-Confidence admits (see quality.SkewShift).
+	shift := quality.SkewShift(semUV, nw, total, sumSq, sumCube)
+	ex.SkewShift = shift
+	ex.CILow = quality.Clamp01(lo + shift)
+	ex.CIHigh = quality.Clamp01(hi + shift)
+	// Identical clamp to query(): CLT computes mean as semUV*total/nw in
+	// the same floating-point order, so this reproduces Query bit for bit.
+	score := mean
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	ex.Score = score
+	if e.theta > 0 {
+		// Prop 4.6: theta-capping introduces a one-sided additive error
+		// of at most theta on the estimate.
+		ex.PruneEnvelope = e.theta
+	}
+}
+
+// cacheMode reports where SO normalizations are served from: "dense"
+// (precomputed triangular table), "map" (striped lazy cache) or "none".
+func (e *Estimator) cacheMode() string {
+	switch {
+	case e.cache == nil:
+		return "none"
+	case e.cache.Dense():
+		return "dense"
+	default:
+		return "map"
+	}
+}
+
+// kernelMode reports the semantic kernel's evaluation mode ("dense" or
+// "memo"), or "" when the measure is not kernel-wrapped.
+func (e *Estimator) kernelMode() string {
+	if k, ok := e.sem.(*semantic.Kernel); ok {
+		return k.Mode()
+	}
+	return ""
+}

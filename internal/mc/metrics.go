@@ -34,6 +34,9 @@ type instruments struct {
 	// Scoring pool: goroutines currently scoring + total spawned.
 	poolActive *obs.Gauge
 	poolTasks  *obs.Counter
+	// Explain path (estimate-quality evidence queries).
+	explains   *obs.Counter
+	explainLat *obs.Histogram
 }
 
 // newInstruments registers the estimator's metric set on r. A nil r
@@ -63,6 +66,9 @@ func newInstruments(r *obs.Registry) instruments {
 
 		poolActive: r.Gauge("semsim_pool_active_workers", "scoring-pool goroutines currently running"),
 		poolTasks:  r.Counter("semsim_pool_workers_spawned_total", "scoring-pool goroutines spawned"),
+
+		explains:   r.Counter("semsim_explain_total", "explain-mode queries (per-query estimate-quality evidence)"),
+		explainLat: r.Histogram("semsim_explain_seconds", "explain-mode query latency", nil),
 	}
 }
 

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramNegativeObserve: negative observations (possible from
+// clock skew in duration measurements) clamp to 0 — they land in the
+// first bucket and add nothing to the sum, instead of corrupting the
+// cumulative-count invariant or driving Sum negative.
+func TestHistogramNegativeObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{0.5, 1})
+	h.Observe(-3)
+	h.Observe(-0.0001)
+	h.Observe(0.75)
+
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if s.Sum != 0.75 {
+		t.Errorf("Sum = %v, want 0.75 (negatives clamp to 0)", s.Sum)
+	}
+	if got := s.Buckets[0].CumCount; got != 2 {
+		t.Errorf("first bucket holds %d observations, want the 2 clamped negatives", got)
+	}
+	var prev int64
+	for _, b := range s.Buckets {
+		if b.CumCount < prev {
+			t.Fatalf("cumulative counts decreased after negative observes: %+v", s.Buckets)
+		}
+		prev = b.CumCount
+	}
+}
+
+// TestEmptyTraceString: a trace with no recorded spans renders its
+// header without panicking, and a nil trace renders as "".
+func TestEmptyTraceString(t *testing.T) {
+	tr := NewTrace("empty")
+	out := tr.String()
+	if !strings.Contains(out, "trace empty") {
+		t.Errorf("empty trace String() = %q, want header mentioning the name", out)
+	}
+	if tr.Total() < 0 {
+		t.Errorf("empty trace Total() = %v, want >= 0", tr.Total())
+	}
+	var nilTrace *Trace
+	if got := nilTrace.String(); got != "" {
+		t.Errorf("nil trace String() = %q, want empty", got)
+	}
+	// The zero Span (from a nil trace) is inert.
+	nilTrace.Start("phase").End()
+	nilTrace.Time("phase", func() {})
+}
+
+// TestTraceStringDuringRecording: String/Spans may race with concurrent
+// span recording (the debug server renders in-flight build traces);
+// both must stay consistent under -race.
+func TestTraceStringDuringRecording(t *testing.T) {
+	tr := NewTrace("live")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Time("work", func() {})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if out := tr.String(); !strings.Contains(out, "trace live") {
+			t.Errorf("String() lost the header mid-recording: %q", out)
+			break
+		}
+		_ = tr.Spans()
+	}
+	close(stop)
+	wg.Wait()
+}

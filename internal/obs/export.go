@@ -102,7 +102,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 		if base != lastBase {
 			if h := help[n]; h != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", base, h)
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, escapeHelp(h))
 			}
 			switch kind[n] {
 			case 'c':
@@ -112,11 +112,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 			}
 			lastBase = base
 		}
+		// Series names are normalized on output: label values pass
+		// through a decode/re-encode cycle so backslashes, quotes and
+		// newlines are escaped per the 0.0.4 exposition format even if
+		// a registration bypassed SeriesName.
 		switch kind[n] {
 		case 'c':
-			fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
+			fmt.Fprintf(&b, "%s %d\n", escapeSeriesName(n), s.Counters[n])
 		case 'g':
-			fmt.Fprintf(&b, "%s %s\n", n, formatFloat(s.Gauges[n]))
+			fmt.Fprintf(&b, "%s %s\n", escapeSeriesName(n), formatFloat(s.Gauges[n]))
 		case 'h':
 			hs := s.Histograms[n]
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
@@ -137,6 +141,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes HELP text per the 0.0.4 exposition format:
+// backslash and newline only (quotes are legal in HELP).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
 }
 
 // PublishExpvar publishes the registry's live snapshot under the given

@@ -1,0 +1,190 @@
+package obs
+
+import "strings"
+
+// Labeled series support.
+//
+// The Registry is name-keyed, so labeled families (one counter per
+// strategy, per severity, ...) register each series under its full
+// serialized name: semsim_plan_total{strategy="brute"}. SeriesName is
+// the one supported way to build such names — it escapes label values
+// per the Prometheus 0.0.4 text exposition format, and WriteText
+// re-derives the escaping on output (decode + re-encode), so a hostile
+// label value (backslashes, quotes, newlines) can never corrupt the
+// exposition, whichever path it arrived by.
+
+// EscapeLabelValue escapes a raw label value for the Prometheus text
+// exposition format: backslash, double-quote and newline become \\, \"
+// and \n. All other bytes pass through.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue inverts EscapeLabelValue. Unrecognized escape
+// sequences keep the backslash literally (the tolerant reading most
+// exposition parsers apply).
+func UnescapeLabelValue(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// SeriesName serializes a labeled series name from a base metric name
+// and alternating label-name/raw-value pairs, escaping each value:
+//
+//	SeriesName("semsim_plan_total", "strategy", "brute")
+//	  == `semsim_plan_total{strategy="brute"}`
+//
+// Pairs are emitted in argument order. A trailing odd argument is
+// treated as having an empty value rather than panicking — instruments
+// register at init time where a panic would take the process down for a
+// telemetry bug.
+func SeriesName(base string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 16)
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labelPairs[i])
+		b.WriteString(`="`)
+		if i+1 < len(labelPairs) {
+			b.WriteString(EscapeLabelValue(labelPairs[i+1]))
+		}
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelPair is one parsed label of a series name, value in raw
+// (unescaped) form.
+type labelPair struct {
+	name  string
+	value string
+}
+
+// parseSeries splits a registered series name into its base name and
+// raw-valued labels. ok is false for names with no '{' or with a label
+// section that does not parse as name="value"(,name="value")* — those
+// are emitted verbatim by WriteText, preserving behavior for plain
+// names.
+func parseSeries(n string) (base string, labels []labelPair, ok bool) {
+	i := strings.IndexByte(n, '{')
+	if i < 0 || !strings.HasSuffix(n, "}") {
+		return n, nil, false
+	}
+	base = n[:i]
+	rest := n[i+1 : len(n)-1]
+	for len(rest) > 0 {
+		eq := strings.Index(rest, `="`)
+		if eq <= 0 {
+			return n, nil, false
+		}
+		name := rest[:eq]
+		rest = rest[eq+2:]
+		// Find the closing quote, skipping escaped characters.
+		end := -1
+		for j := 0; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return n, nil, false
+		}
+		labels = append(labels, labelPair{name: name, value: UnescapeLabelValue(rest[:end])})
+		rest = rest[end+1:]
+		if len(rest) > 0 {
+			if rest[0] != ',' {
+				return n, nil, false
+			}
+			rest = rest[1:]
+		}
+	}
+	if len(labels) == 0 {
+		return n, nil, false
+	}
+	return base, labels, true
+}
+
+// renderSeries re-serializes a parsed series with every label value
+// escaped — the canonical form WriteText emits.
+func renderSeries(base string, labels []labelPair) string {
+	var b strings.Builder
+	b.Grow(len(base) + 16)
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeSeriesName normalizes a registered name for exposition output:
+// plain names pass through, labeled names are decoded and re-encoded so
+// label values are escaped exactly once regardless of how the name was
+// built.
+func escapeSeriesName(n string) string {
+	base, labels, ok := parseSeries(n)
+	if !ok {
+		return n
+	}
+	return renderSeries(base, labels)
+}

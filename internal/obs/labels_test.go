@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"here\n", `all\\three\"here\n`},
+		{`already\\escaped`, `already\\\\escaped`},
+	} {
+		if got := EscapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		if back := UnescapeLabelValue(EscapeLabelValue(tc.in)); back != tc.in {
+			t.Errorf("roundtrip of %q came back as %q", tc.in, back)
+		}
+	}
+}
+
+func TestUnescapeTolerant(t *testing.T) {
+	// Unknown escapes keep the backslash; a trailing backslash survives.
+	for _, tc := range []struct{ in, want string }{
+		{`\t`, `\t`},
+		{`trailing\`, `trailing\`},
+		{`\n`, "\n"},
+	} {
+		if got := UnescapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("UnescapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSeriesName(t *testing.T) {
+	for _, tc := range []struct {
+		base  string
+		pairs []string
+		want  string
+	}{
+		{"m", nil, "m"},
+		{"m", []string{"a", "x"}, `m{a="x"}`},
+		{"m", []string{"a", "x", "b", "y"}, `m{a="x",b="y"}`},
+		{"m", []string{"a", "x\"y"}, `m{a="x\"y"}`},
+		{"m", []string{"a"}, `m{a=""}`}, // odd trailing arg: empty value, no panic
+	} {
+		if got := SeriesName(tc.base, tc.pairs...); got != tc.want {
+			t.Errorf("SeriesName(%q, %v) = %q, want %q", tc.base, tc.pairs, got, tc.want)
+		}
+	}
+}
+
+func TestParseSeriesRoundtrip(t *testing.T) {
+	hostile := []string{
+		"plain_value",
+		`with"quote`,
+		"with\nnewline",
+		`with\backslash`,
+		"with\\\"both\nand\\more",
+	}
+	for _, v := range hostile {
+		n := SeriesName("semsim_test_total", "k", v)
+		base, labels, ok := parseSeries(n)
+		if !ok {
+			t.Fatalf("parseSeries(%q) failed", n)
+		}
+		if base != "semsim_test_total" || len(labels) != 1 || labels[0].name != "k" {
+			t.Fatalf("parseSeries(%q) = %q %v", n, base, labels)
+		}
+		if labels[0].value != v {
+			t.Errorf("value roundtrip: %q came back as %q", v, labels[0].value)
+		}
+		if re := renderSeries(base, labels); re != n {
+			t.Errorf("renderSeries does not reproduce SeriesName: %q vs %q", re, n)
+		}
+	}
+
+	// Names that are not label syntax pass through untouched.
+	for _, n := range []string{"plain_metric", "odd{", "odd{novalue}", `odd{a=}`} {
+		if got := escapeSeriesName(n); got != n {
+			t.Errorf("escapeSeriesName(%q) = %q, want verbatim", n, got)
+		}
+	}
+}
+
+// TestWriteTextHostileLabels is the regression for the exposition
+// escaping bug class: a label value carrying backslashes, quotes and
+// newlines must come out as one well-formed series line, with escapes a
+// 0.0.4 parser decodes back to the original value.
+func TestWriteTextHostileLabels(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "C:\\data\nset \"v2\""
+	reg.Counter(SeriesName("semsim_hostile_total", "path", hostile), "hostile label regression").Add(7)
+	reg.Counter("semsim_plain_total", "plain sibling").Add(1)
+	reg.Gauge(SeriesName("semsim_hostile_gauge", "path", hostile), "hostile gauge").Set(3)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `semsim_hostile_total{path="C:\\data\nset \"v2\""} 7`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing escaped series line %q:\n%s", want, out)
+	}
+	// No raw newline may survive inside any sample line: every line must
+	// be a comment or parse as name/labels/value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("unparseable exposition line %q (raw newline leaked?)", line)
+		}
+	}
+	// HELP text with a backslash is escaped too.
+	reg2 := NewRegistry()
+	reg2.Counter("semsim_help_total", "help with \\ and \n newline").Inc()
+	b.Reset()
+	if err := reg2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP semsim_help_total help with \\ and \n newline`) {
+		t.Errorf("HELP escaping wrong:\n%s", b.String())
+	}
+}

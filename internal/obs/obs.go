@@ -149,10 +149,15 @@ var CountBuckets = []float64{
 	1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000, 1e6,
 }
 
-// Observe records one value.
+// Observe records one value. Negative values (a clock that stepped
+// backwards mid-measurement) clamp to 0 so they land in the first
+// bucket and cannot drag the running sum negative.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	// sort.SearchFloat64s is the first bucket with bound >= v, i.e. the
 	// smallest le-bucket that contains v; equal-to-bound lands in the

@@ -1,0 +1,138 @@
+package quality
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+func storeFloatBits(a *atomic.Uint64, v float64) { a.Store(math.Float64bits(v)) }
+
+func floatBits(a *atomic.Uint64) float64 { return math.Float64frombits(a.Load()) }
+
+// DefaultHealthInterval is the runtime-stats polling cadence when the
+// caller does not pick one.
+const DefaultHealthInterval = 10 * time.Second
+
+// Health polls Go runtime statistics into obs gauges on a background
+// ticker: goroutine count, heap sizes and object counts, GC cycle and
+// pause accounting. The poll itself (runtime.ReadMemStats) costs tens
+// of microseconds and briefly stops the world, so it runs on its own
+// goroutine at a coarse interval, never on a query path; the exported
+// GaugeFuncs just read atomics.
+//
+// A nil *Health ignores Poll and Stop (the nil-is-off convention).
+type Health struct {
+	stop chan struct{}
+	done chan struct{}
+
+	polls *obs.Counter
+
+	goroutines   atomic.Int64
+	heapAlloc    atomic.Uint64
+	heapSys      atomic.Uint64
+	heapObjects  atomic.Uint64
+	nextGC       atomic.Uint64
+	gcCycles     atomic.Uint64
+	gcPauseLast  atomic.Uint64 // float64 bits, seconds
+	gcPauseTotal atomic.Uint64 // float64 bits, seconds
+}
+
+// StartHealth registers the semsim_runtime_* gauges on reg and starts a
+// collector polling at the given interval (<= 0 defaults to
+// DefaultHealthInterval). One poll runs synchronously before returning
+// so the gauges are never zero-before-first-tick. Returns nil — the
+// disabled collector — on a nil registry.
+func StartHealth(reg *obs.Registry, interval time.Duration) *Health {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	h := &Health{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	h.polls = reg.Counter("semsim_runtime_health_polls_total",
+		"Runtime health collector polls completed.")
+	reg.GaugeFunc("semsim_runtime_goroutines",
+		"Goroutines alive at the last health poll.",
+		func() float64 { return float64(h.goroutines.Load()) })
+	reg.GaugeFunc("semsim_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects at the last health poll.",
+		func() float64 { return float64(h.heapAlloc.Load()) })
+	reg.GaugeFunc("semsim_runtime_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS at the last health poll.",
+		func() float64 { return float64(h.heapSys.Load()) })
+	reg.GaugeFunc("semsim_runtime_heap_objects",
+		"Live heap objects at the last health poll.",
+		func() float64 { return float64(h.heapObjects.Load()) })
+	reg.GaugeFunc("semsim_runtime_next_gc_bytes",
+		"Heap size target of the next GC cycle at the last health poll.",
+		func() float64 { return float64(h.nextGC.Load()) })
+	reg.GaugeFunc("semsim_runtime_gc_cycles_total",
+		"Completed GC cycles at the last health poll.",
+		func() float64 { return float64(h.gcCycles.Load()) })
+	reg.GaugeFunc("semsim_runtime_gc_pause_last_seconds",
+		"Most recent GC stop-the-world pause at the last health poll.",
+		func() float64 { return floatBits(&h.gcPauseLast) })
+	reg.GaugeFunc("semsim_runtime_gc_pause_total_seconds",
+		"Cumulative GC stop-the-world pause time at the last health poll.",
+		func() float64 { return floatBits(&h.gcPauseTotal) })
+
+	h.Poll()
+	go h.run(interval)
+	return h
+}
+
+func (h *Health) run(interval time.Duration) {
+	defer close(h.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			h.Poll()
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// Poll reads the runtime stats once, immediately. Exported so tests
+// (and operators wanting a fresh reading before a snapshot) can refresh
+// deterministically without waiting for the ticker. Safe on nil.
+func (h *Health) Poll() {
+	if h == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.goroutines.Store(int64(runtime.NumGoroutine()))
+	h.heapAlloc.Store(ms.HeapAlloc)
+	h.heapSys.Store(ms.HeapSys)
+	h.heapObjects.Store(ms.HeapObjects)
+	h.nextGC.Store(ms.NextGC)
+	h.gcCycles.Store(uint64(ms.NumGC))
+	if ms.NumGC > 0 {
+		last := ms.PauseNs[(ms.NumGC+255)%256]
+		storeFloatBits(&h.gcPauseLast, time.Duration(last).Seconds())
+	}
+	storeFloatBits(&h.gcPauseTotal, time.Duration(ms.PauseTotalNs).Seconds())
+	h.polls.Inc()
+}
+
+// Stop halts the background poller. Safe on nil; idempotent calls after
+// the first panic (close of closed channel) are not supported — the
+// facade owns exactly one Stop.
+func (h *Health) Stop() {
+	if h == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+}

@@ -1,0 +1,71 @@
+package quality
+
+import (
+	"testing"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+func TestHealthNilRegistry(t *testing.T) {
+	if h := StartHealth(nil, time.Second); h != nil {
+		t.Fatal("StartHealth(nil, ...) should return the nil collector")
+	}
+	var h *Health
+	h.Poll() // must not panic
+	h.Stop()
+}
+
+func TestHealthGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := StartHealth(reg, time.Hour) // ticker never fires; first poll is synchronous
+	defer h.Stop()
+
+	snap := reg.Snapshot()
+	if snap.Counters["semsim_runtime_health_polls_total"] < 1 {
+		t.Error("synchronous first poll did not count")
+	}
+	// Values that cannot be zero in a running Go process.
+	for _, name := range []string{
+		"semsim_runtime_goroutines",
+		"semsim_runtime_heap_alloc_bytes",
+		"semsim_runtime_heap_sys_bytes",
+		"semsim_runtime_heap_objects",
+		"semsim_runtime_next_gc_bytes",
+	} {
+		if v, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s not registered", name)
+		} else if v <= 0 {
+			t.Errorf("gauge %s = %v, want > 0", name, v)
+		}
+	}
+	// GC gauges exist even if no cycle has run yet.
+	for _, name := range []string{
+		"semsim_runtime_gc_cycles_total",
+		"semsim_runtime_gc_pause_last_seconds",
+		"semsim_runtime_gc_pause_total_seconds",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s not registered", name)
+		}
+	}
+
+	before := reg.Snapshot().Counters["semsim_runtime_health_polls_total"]
+	h.Poll()
+	if after := reg.Snapshot().Counters["semsim_runtime_health_polls_total"]; after != before+1 {
+		t.Errorf("explicit Poll: polls %d -> %d, want +1", before, after)
+	}
+}
+
+func TestHealthTickerPolls(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := StartHealth(reg, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Snapshot().Counters["semsim_runtime_health_polls_total"] < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("background poller never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop() // blocks until the goroutine exits
+}

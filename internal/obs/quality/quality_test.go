@@ -1,0 +1,145 @@
+package quality
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCLTDegenerate(t *testing.T) {
+	if m, v, se, lo, hi := CLT(0.5, 0, 0, 0); m != 0 || v != 0 || se != 0 || lo != 0 || hi != 0 {
+		t.Errorf("n=0: want all zeros, got %v %v %v %v %v", m, v, se, lo, hi)
+	}
+	// One sample: mean defined, variance 0, interval collapses.
+	m, v, se, lo, hi := CLT(0.5, 1, 0.8, 0.64)
+	if m != 0.5*0.8 {
+		t.Errorf("n=1 mean = %v, want %v", m, 0.5*0.8)
+	}
+	if v != 0 || se != 0 {
+		t.Errorf("n=1: want zero variance/stderr, got %v %v", v, se)
+	}
+	if lo != m || hi != m {
+		t.Errorf("n=1: interval [%v,%v] should collapse onto mean %v", lo, hi, m)
+	}
+}
+
+func TestCLTKnownValues(t *testing.T) {
+	// Contributions {0, 1} with scale 1: mean 0.5, sample variance 0.5,
+	// stderr 0.5, CI 0.5 +- 1.96*0.5 clamped into [0,1].
+	m, v, se, lo, hi := CLT(1, 2, 1, 1)
+	if m != 0.5 {
+		t.Errorf("mean = %v, want 0.5", m)
+	}
+	if math.Abs(v-0.5) > 1e-15 {
+		t.Errorf("variance = %v, want 0.5", v)
+	}
+	if math.Abs(se-0.5) > 1e-15 {
+		t.Errorf("stderr = %v, want 0.5", se)
+	}
+	if lo != 0 || hi != 1 {
+		t.Errorf("interval [%v,%v], want clamped [0,1]", lo, hi)
+	}
+
+	// Identical contributions: zero variance, interval collapses.
+	m, v, _, lo, hi = CLT(0.3, 4, 4*0.2, 4*0.04)
+	if want := 0.3 * 0.2; math.Abs(m-want) > 1e-15 {
+		t.Errorf("mean = %v, want %v", m, want)
+	}
+	if v > 1e-15 {
+		t.Errorf("identical contributions: variance = %v, want ~0", v)
+	}
+	if math.Abs(lo-m) > 1e-12 || math.Abs(hi-m) > 1e-12 {
+		t.Errorf("zero-variance interval [%v,%v] should sit on mean %v", lo, hi, m)
+	}
+}
+
+func TestCLTScaleFactorsOut(t *testing.T) {
+	// Doubling the scale doubles mean and stderr, quadruples variance.
+	m1, v1, se1, _, _ := CLT(0.25, 3, 1.2, 0.9)
+	m2, v2, se2, _, _ := CLT(0.5, 3, 1.2, 0.9)
+	if math.Abs(m2-2*m1) > 1e-15 {
+		t.Errorf("mean did not scale linearly: %v vs %v", m1, m2)
+	}
+	if math.Abs(v2-4*v1) > 1e-15 {
+		t.Errorf("variance did not scale quadratically: %v vs %v", v1, v2)
+	}
+	if math.Abs(se2-2*se1) > 1e-15 {
+		t.Errorf("stderr did not scale linearly: %v vs %v", se1, se2)
+	}
+}
+
+func TestCLTCancellationClamp(t *testing.T) {
+	// sumSq slightly below sum^2/n from floating-point cancellation must
+	// clamp to zero variance, not NaN.
+	n := 3
+	sum := 0.3 * float64(n)
+	sumSq := sum * sum / float64(n) * (1 - 1e-16)
+	_, v, se, lo, hi := CLT(1, n, sum, sumSq)
+	if math.IsNaN(v) || math.IsNaN(se) || v < 0 {
+		t.Fatalf("cancellation produced bad variance %v / stderr %v", v, se)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("cancellation produced NaN interval [%v,%v]", lo, hi)
+	}
+}
+
+func TestExplanationHelpers(t *testing.T) {
+	var nilEx *Explanation
+	if w := nilEx.CIWidth(); w != 0 {
+		t.Errorf("nil CIWidth = %v, want 0", w)
+	}
+	ex := &Explanation{CILow: 0.2, CIHigh: 0.5, PruneEnvelope: 0.05}
+	if w := ex.CIWidth(); math.Abs(w-0.3) > 1e-15 {
+		t.Errorf("CIWidth = %v, want 0.3", w)
+	}
+	for _, tc := range []struct {
+		s    float64
+		want bool
+	}{
+		{0.2, true}, {0.5, true}, {0.55, true}, // envelope widens the top
+		{0.19, false}, {0.56, false},
+	} {
+		if got := ex.Contains(tc.s); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestExplanationJSONShape(t *testing.T) {
+	ex := &Explanation{
+		U: 1, V: 2, Backend: "mc", Score: 0.25, Sem: 0.5,
+		NumWalks: 100, WalksCoupled: 40, MeetsByStep: []int64{0, 30, 10},
+		Theta: 0.05, Mean: 0.25, CILow: 0.2, CIHigh: 0.3, CIConfidence: Confidence,
+		SOCacheMode: "dense", KernelMode: "memo",
+	}
+	data, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Explanation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Score != ex.Score || back.CILow != ex.CILow || back.SOCacheMode != ex.SOCacheMode ||
+		len(back.MeetsByStep) != len(ex.MeetsByStep) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", back, *ex)
+	}
+	var raw map[string]any
+	json.Unmarshal(data, &raw)
+	for _, key := range []string{"u", "v", "backend", "score", "sem", "ci_low", "ci_high", "ci_confidence", "so_cache", "theta"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("JSON payload missing key %q: %s", key, data)
+		}
+	}
+}
+
+func TestErrorBucketsAscending(t *testing.T) {
+	for i := 1; i < len(ErrorBuckets); i++ {
+		if ErrorBuckets[i] <= ErrorBuckets[i-1] {
+			t.Fatalf("ErrorBuckets not strictly ascending at %d: %v", i, ErrorBuckets)
+		}
+	}
+	if last := ErrorBuckets[len(ErrorBuckets)-1]; last != 1 {
+		t.Errorf("ErrorBuckets should top out at 1 (scores live in [0,1]), got %v", last)
+	}
+}

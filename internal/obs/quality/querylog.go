@@ -1,0 +1,86 @@
+package quality
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+// QueryEvent is one wide event in the structured query log: everything
+// worth knowing about a single served request on one line of JSON, so
+// an operator can slice latency by strategy, correlate CI width with
+// cache hit ratio, or grep a single bad query out of a day of traffic.
+type QueryEvent struct {
+	Time     time.Time `json:"ts"`
+	Endpoint string    `json:"endpoint"`
+	U        string    `json:"u,omitempty"`
+	V        string    `json:"v,omitempty"`
+	K        int       `json:"k,omitempty"`
+	Status   int       `json:"status"`
+	Error    string    `json:"error,omitempty"`
+
+	Score          float64 `json:"score,omitempty"`
+	Results        int     `json:"results,omitempty"`
+	LatencySeconds float64 `json:"latency_seconds"`
+
+	Backend       string  `json:"backend,omitempty"`
+	Strategy      string  `json:"strategy,omitempty"`
+	CIWidth       float64 `json:"ci_width,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+}
+
+// QueryLog serializes QueryEvents as newline-delimited JSON to a single
+// writer. Writes are mutex-serialized (the log sits after the response
+// is computed, off the scoring hot path) and one slow or failing write
+// never panics a handler — failures are counted and dropped. A nil
+// *QueryLog ignores all calls.
+type QueryLog struct {
+	mu sync.Mutex
+	w  io.Writer
+
+	events *obs.Counter
+	fails  *obs.Counter
+}
+
+// NewQueryLog wraps w as a query log. Returns nil (the disabled log) on
+// a nil writer. reg may be nil for an unmetered log.
+func NewQueryLog(w io.Writer, reg *obs.Registry) *QueryLog {
+	if w == nil {
+		return nil
+	}
+	return &QueryLog{
+		w: w,
+		events: reg.Counter("semsim_querylog_events_total",
+			"Wide events written to the structured query log."),
+		fails: reg.Counter("semsim_querylog_write_errors_total",
+			"Query log events dropped because the writer failed."),
+	}
+}
+
+// Log writes one event. Marshal or write failures are counted on
+// semsim_querylog_write_errors_total and otherwise swallowed.
+func (l *QueryLog) Log(ev QueryEvent) {
+	if l == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		l.fails.Inc()
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, err = l.w.Write(line)
+	l.mu.Unlock()
+	if err != nil {
+		l.fails.Inc()
+		return
+	}
+	l.events.Inc()
+}

@@ -1,0 +1,358 @@
+// Package promlint is a stdlib-only validator for the Prometheus text
+// exposition format (version 0.0.4) — the CI gate behind cmd/promlint
+// that keeps /metrics scrapes well-formed as the exporter grows. It
+// checks the properties a real scraper depends on:
+//
+//   - metric and label names are legal identifiers;
+//   - label values use only the three legal escapes (\\, \", \n) and
+//     every opened quote closes;
+//   - sample values parse as Go floats (+Inf/-Inf/NaN allowed);
+//   - # TYPE declares a known type, at most once per family, and
+//     appears before the family's first sample; # HELP likewise
+//     appears at most once and never after samples;
+//   - a family's samples are contiguous (a family never reappears
+//     after another family's samples started);
+//   - histogram bucket le values are monotonically increasing, finish
+//     with +Inf, and the +Inf bucket equals the family's _count.
+//
+// It is a validator, not a full parser: lines it cannot parse are
+// problems by definition.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Problem is one violation, anchored to a 1-based input line.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// family accumulates per-family state across lines.
+type family struct {
+	helpSeen  bool
+	typeSeen  bool
+	typ       string
+	samples   int
+	closed    bool // another family's samples started after ours
+	lastLE    float64
+	lastLESet bool
+	infBucket float64
+	infSeen   bool
+	count     float64
+	countSeen bool
+}
+
+// Lint validates r as a 0.0.4 text exposition and returns every
+// problem found (nil for a clean input). A read error is reported as a
+// final problem on line 0.
+func Lint(r io.Reader) []Problem {
+	var probs []Problem
+	families := map[string]*family{}
+	current := "" // family whose samples we are inside
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	addf := func(format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+	fam := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, rest, ok := parseComment(text)
+			if !ok {
+				continue // free-form comment, legal
+			}
+			if !validMetricName(name) {
+				addf("%s for invalid metric name %q", kind, name)
+				continue
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.helpSeen {
+					addf("second HELP for %s", name)
+				}
+				if f.samples > 0 {
+					addf("HELP for %s after its samples", name)
+				}
+				f.helpSeen = true
+			case "TYPE":
+				if f.typeSeen {
+					addf("second TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					addf("TYPE for %s after its samples", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("unknown TYPE %q for %s", rest, name)
+				}
+				f.typeSeen = true
+				f.typ = rest
+			}
+			continue
+		}
+		s, perr := parseSample(text)
+		if perr != "" {
+			addf("%s", perr)
+			continue
+		}
+		base := baseName(s.name, families)
+		f := fam(base)
+		if base != current {
+			if f.closed {
+				addf("samples for %s reappear after another family's samples", base)
+			}
+			if current != "" {
+				families[current].closed = true
+			}
+			current = base
+		}
+		if !f.typeSeen {
+			addf("sample for %s before any TYPE declaration", base)
+		}
+		f.samples++
+		if f.typ == "histogram" {
+			lintHistogramSample(f, s, base, addf)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		probs = append(probs, Problem{Line: 0, Msg: "read: " + err.Error()})
+	}
+	for name, f := range families {
+		if f.typ == "histogram" && f.samples > 0 {
+			if !f.infSeen {
+				probs = append(probs, Problem{Line: 0, Msg: "histogram " + name + " has no +Inf bucket"})
+			} else if f.countSeen && f.infBucket != f.count {
+				probs = append(probs, Problem{Line: 0, Msg: fmt.Sprintf(
+					"histogram %s +Inf bucket (%g) != _count (%g)", name, f.infBucket, f.count)})
+			}
+		}
+	}
+	return probs
+}
+
+// lintHistogramSample folds one sample line into its histogram family's
+// bucket-monotonicity and count bookkeeping.
+func lintHistogramSample(f *family, s sample, base string, addf func(string, ...any)) {
+	switch {
+	case s.name == base+"_bucket":
+		le, ok := s.labels["le"]
+		if !ok {
+			addf("histogram %s bucket without le label", base)
+			return
+		}
+		v, err := parseLE(le)
+		if err != nil {
+			addf("histogram %s bucket has bad le %q", base, le)
+			return
+		}
+		if f.lastLESet && v <= f.lastLE {
+			addf("histogram %s bucket le %q not monotonically increasing", base, le)
+		}
+		f.lastLE, f.lastLESet = v, true
+		if isInf(v) {
+			f.infSeen, f.infBucket = true, s.value
+		}
+	case s.name == base+"_count":
+		f.count, f.countSeen = s.value, true
+	}
+}
+
+// parseLE parses a bucket bound: a float, or the literal "+Inf".
+func parseLE(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// baseName maps a sample's metric name to its family: histogram series
+// (_bucket/_sum/_count suffixes) belong to the declared base family when
+// one exists.
+func baseName(name string, families map[string]*family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if f, declared := families[b]; declared && (f.typ == "histogram" || f.typ == "summary") {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type" lines.
+// ok is false for other comments.
+func parseComment(text string) (kind, name, rest string, ok bool) {
+	t := strings.TrimPrefix(text, "#")
+	t = strings.TrimLeft(t, " ")
+	for _, k := range []string{"HELP", "TYPE"} {
+		if after, found := strings.CutPrefix(t, k+" "); found {
+			after = strings.TrimLeft(after, " ")
+			name, rest, _ = strings.Cut(after, " ")
+			return k, name, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", "", false
+}
+
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+// A non-empty return string describes the first syntax problem.
+func parseSample(text string) (sample, string) {
+	var s sample
+	i := 0
+	for i < len(text) && isNameChar(text[i], i == 0) {
+		i++
+	}
+	s.name = text[:i]
+	if !validMetricName(s.name) {
+		return s, fmt.Sprintf("invalid metric name at %q", truncate(text))
+	}
+	if i < len(text) && text[i] == '{' {
+		labels, rest, perr := parseLabels(text[i:])
+		if perr != "" {
+			return s, perr
+		}
+		s.labels = labels
+		text = rest
+		i = 0
+	} else {
+		text = text[i:]
+		i = 0
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Sprintf("want 'value [timestamp]' after metric name, got %q", truncate(text))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Sprintf("bad sample value %q", fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Sprintf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, ""
+}
+
+// parseLabels parses a {name="value",...} block (escape-aware) and
+// returns the remainder of the line after the closing brace.
+func parseLabels(text string) (map[string]string, string, string) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(text) {
+			return nil, "", "unterminated label set"
+		}
+		if text[i] == '}' {
+			return labels, text[i+1:], ""
+		}
+		j := i
+		for j < len(text) && isLabelNameChar(text[j], j == i) {
+			j++
+		}
+		name := text[i:j]
+		if name == "" {
+			return nil, "", fmt.Sprintf("invalid label name at %q", truncate(text[i:]))
+		}
+		if j+1 >= len(text) || text[j] != '=' || text[j+1] != '"' {
+			return nil, "", fmt.Sprintf("label %s: want =\"value\"", name)
+		}
+		j += 2
+		var val strings.Builder
+		closed := false
+		for j < len(text) {
+			c := text[j]
+			if c == '\\' {
+				if j+1 >= len(text) {
+					return nil, "", fmt.Sprintf("label %s: dangling backslash", name)
+				}
+				switch text[j+1] {
+				case '\\', '"', 'n':
+					val.WriteByte(text[j+1])
+				default:
+					return nil, "", fmt.Sprintf("label %s: illegal escape \\%c", name, text[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, "", fmt.Sprintf("label %s: unterminated value", name)
+		}
+		labels[name] = val.String()
+		if j < len(text) && text[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+func validMetricName(n string) bool {
+	if n == "" {
+		return false
+	}
+	for i := 0; i < len(n); i++ {
+		if !isNameChar(n[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func isLabelNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+
+	"semsim/internal/obs"
+)
+
+func lint(t *testing.T, doc string) []Problem {
+	t.Helper()
+	return Lint(strings.NewReader(doc))
+}
+
+// mustFlag asserts at least one problem mentions want.
+func mustFlag(t *testing.T, probs []Problem, want string) {
+	t.Helper()
+	for _, p := range probs {
+		if strings.Contains(p.Msg, want) {
+			return
+		}
+	}
+	t.Errorf("no problem mentions %q; got %v", want, probs)
+}
+
+func TestLintCleanDocument(t *testing.T) {
+	doc := `# HELP semsim_queries_total Queries served.
+# TYPE semsim_queries_total counter
+semsim_queries_total 42
+# HELP semsim_heap_bytes Heap in use.
+# TYPE semsim_heap_bytes gauge
+semsim_heap_bytes 1.5e+06
+# HELP semsim_query_seconds Query latency.
+# TYPE semsim_query_seconds histogram
+semsim_query_seconds_bucket{le="0.001"} 3
+semsim_query_seconds_bucket{le="0.01"} 7
+semsim_query_seconds_bucket{le="+Inf"} 9
+semsim_query_seconds_sum 0.05
+semsim_query_seconds_count 9
+# this is a free-form comment, legal
+# TYPE semsim_labeled_total counter
+semsim_labeled_total{mode="dense",path="C:\\x\n\"q\""} 1 1700000000
+`
+	if probs := lint(t, doc); len(probs) != 0 {
+		t.Errorf("clean document flagged: %v", probs)
+	}
+}
+
+func TestLintRuleViolations(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown type",
+			"# TYPE m flughafen\nm 1\n", `unknown TYPE "flughafen"`},
+		{"duplicate type",
+			"# TYPE m counter\n# TYPE m counter\nm 1\n", "second TYPE"},
+		{"duplicate help",
+			"# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n", "second HELP"},
+		{"type after samples",
+			"# TYPE m counter\nm 1\n# TYPE n counter\nn 1\n# TYPE m counter\n",
+			"TYPE for m after its samples"},
+		{"help after samples",
+			"# TYPE m counter\nm 1\n# HELP m late\n", "HELP for m after its samples"},
+		{"sample before type",
+			"m 1\n", "before any TYPE"},
+		{"invalid metric name",
+			"# TYPE 9bad counter\n", "invalid metric name"},
+		{"invalid sample name",
+			"# TYPE m counter\n9bad 1\n", "invalid metric name"},
+		{"bad value",
+			"# TYPE m counter\nm nope\n", "bad sample value"},
+		{"bad timestamp",
+			"# TYPE m counter\nm 1 soon\n", "bad timestamp"},
+		{"illegal escape",
+			"# TYPE m counter\nm{a=\"x\\t\"} 1\n", `illegal escape \t`},
+		{"unterminated value",
+			"# TYPE m counter\nm{a=\"x} 1\n", "unterminated value"},
+		{"unterminated label set",
+			"# TYPE m counter\nm{a=\"x\"\n", "unterminated label set"},
+		{"bucket not monotonic",
+			"# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.25\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1\n",
+			"not monotonically increasing"},
+		{"bucket bad le",
+			"# TYPE h histogram\nh_bucket{le=\"wat\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 0\n",
+			"bad le"},
+		{"bucket missing le",
+			"# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 0\n",
+			"bucket without le"},
+		{"no inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 0.5\n",
+			"no +Inf bucket"},
+		{"inf bucket vs count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 9\nh_sum 0.5\n",
+			"+Inf bucket (4) != _count (9)"},
+		{"family reappears",
+			"# TYPE m counter\n# TYPE n counter\nm 1\nn 1\nm{mode=\"x\"} 2\n",
+			"reappear after another family"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probs := lint(t, tc.doc)
+			if len(probs) == 0 {
+				t.Fatalf("document passed lint:\n%s", tc.doc)
+			}
+			mustFlag(t, probs, tc.want)
+		})
+	}
+}
+
+func TestLintValueForms(t *testing.T) {
+	// Floats in every legal spelling, including the specials.
+	doc := "# TYPE m gauge\n" +
+		"m{k=\"a\"} +Inf\nm{k=\"b\"} -Inf\nm{k=\"c\"} NaN\nm{k=\"d\"} 1e-9\nm{k=\"e\"} -0.5\n"
+	if probs := lint(t, doc); len(probs) != 0 {
+		t.Errorf("special float values flagged: %v", probs)
+	}
+}
+
+// TestLintRealExposition is the integration seam the ci.sh smoke test
+// relies on: whatever obs.WriteText emits — including histograms and
+// hostile label values — must pass this linter.
+func TestLintRealExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("semsim_queries_total", "queries served").Add(42)
+	reg.Gauge("semsim_heap_bytes", "heap").Set(1 << 20)
+	h := reg.Histogram("semsim_query_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.002)
+	h.Observe(0.2)
+	hostile := "C:\\data\nset \"v2\""
+	reg.Counter(obs.SeriesName("semsim_hostile_total", "path", hostile), "hostile").Inc()
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if probs := Lint(strings.NewReader(b.String())); len(probs) != 0 {
+		t.Errorf("obs.WriteText output fails lint: %v\n--- exposition ---\n%s", probs, b.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"semsim/internal/engine"
 	"semsim/internal/mc"
+	"semsim/internal/obs/quality"
 	"semsim/internal/pairgraph"
 	"semsim/internal/rank"
 	"semsim/internal/semantic"
@@ -111,6 +112,28 @@ type IndexOptions struct {
 	// Results are identical across strategies; only the work done per
 	// query changes.
 	AutoPlan bool
+	// ShadowRate, when > 0, attaches the shadow verifier: 1 of every
+	// ShadowRate Query calls is re-scored on an exact reference backend
+	// by a background worker (off the hot path, bounded queue, dropped
+	// when full) and the absolute error is exported through Metrics as
+	// semsim_shadow_abs_err / semsim_shadow_drift_total{severity=...} /
+	// semsim_shadow_worst_abs_err. Query results are untouched — the
+	// verifier observes scores after they are returned. The reference
+	// backend is built at BuildIndex time, so enabling shadowing on a
+	// large graph pays that backend's construction cost once. Call
+	// Index.Close to stop the worker. The conventional production rate
+	// is 256 (one query in 256).
+	ShadowRate int
+	// ShadowBackend names the reference backend the verifier re-scores
+	// on ("exact" or "reduced"). Empty picks "exact" when the graph
+	// fits its node cap and "reduced" otherwise. If the index's own
+	// backend already has that name (and is exact), it is reused
+	// instead of building a second copy.
+	ShadowBackend string
+	// ShadowQueue bounds the verifier's pending-sample queue (0 uses
+	// the default, 256). A full queue drops samples, counted in
+	// semsim_shadow_dropped_total.
+	ShadowQueue int
 }
 
 // Backends lists the registered engine backend names, valid values for
@@ -141,6 +164,7 @@ type Index struct {
 	eng     engine.Backend
 	planner *engine.Planner
 	kernel  *semantic.Kernel
+	shadow  *quality.Shadow
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
@@ -256,7 +280,61 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 		return nil, err
 	}
 	idx.eng = eng
+	if opts.ShadowRate > 0 {
+		if err := idx.attachShadow(g, sem, opts); err != nil {
+			return nil, err
+		}
+	}
 	return idx, nil
+}
+
+// attachShadow builds (or reuses) the reference backend and starts the
+// shadow verifier. sem is the post-kernel measure, so the reference
+// scores against bit-identical semantics.
+func (ix *Index) attachShadow(g *Graph, sem Measure, opts IndexOptions) error {
+	name := opts.ShadowBackend
+	if name == "" {
+		name = "exact"
+		if g.NumNodes() > engine.DefaultMaxExactNodes {
+			name = "reduced"
+		}
+	}
+	ref := ix.eng
+	if ref.Name() != name || !ref.Caps().Exact {
+		shadowLat := opts.Metrics.Histogram("semsim_build_shadow_backend_seconds",
+			"wall time of the shadow reference-backend construction", nil)
+		sp := opts.Trace.Start("shadow-backend")
+		ts := shadowLat.Start()
+		var err error
+		ref, err = engine.New(name, engine.Config{
+			Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
+			Estimator: ix.est, Walks: ix.walks, Meet: ix.meet, Cache: ix.cache,
+			Workers: opts.Workers,
+		})
+		shadowLat.ObserveSince(ts)
+		sp.End()
+		if err != nil {
+			return err
+		}
+	}
+	// Drift severities anchor on the theta envelope (Prop 4.6): an
+	// absolute error beyond theta means pruning ate more than its
+	// one-sided budget plus the Monte-Carlo noise; beyond 2*theta
+	// something is structurally wrong. With pruning off the paper's
+	// default theta stands in as the yardstick.
+	warn, crit := opts.Theta, 2*opts.Theta
+	if opts.Theta == 0 {
+		warn, crit = 0.05, 0.1
+	}
+	ix.shadow = quality.NewShadow(quality.ShadowConfig{
+		Rate:          opts.ShadowRate,
+		Scorer:        ref.Query,
+		WarnThreshold: warn,
+		CritThreshold: crit,
+		QueueSize:     opts.ShadowQueue,
+		Metrics:       opts.Metrics,
+	})
+	return nil
 }
 
 // wrapKernel decides whether assemble wraps the measure in a
@@ -299,7 +377,59 @@ func (ix *Index) Query(u, v NodeID) float64 {
 	if err != nil {
 		return 0
 	}
+	ix.shadow.Offer(u, v, s)
 	return s
+}
+
+// ExplainQuery answers Query(u, v) together with the evidence behind
+// the estimate: sample counts, per-step meeting histogram, empirical
+// variance, the 95% confidence interval, theta-pruning accounting and
+// cache/kernel provenance. Explanation.Score is bit-identical to what
+// Query returns on the same index — explaining observes the estimator,
+// it never perturbs it. An out-of-range node returns an error wrapping
+// ErrNodeOutOfRange.
+func (ix *Index) ExplainQuery(u, v NodeID) (*Explanation, error) {
+	if ex, ok := ix.eng.(engine.Explainer); ok {
+		return ex.Explain(u, v)
+	}
+	// A backend without explain support still yields the score and a
+	// degenerate evidence record, so callers can treat /explain as
+	// universally available.
+	s, err := ix.eng.Query(u, v)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		U: int(u), V: int(v),
+		Backend: ix.eng.Name(), Exact: ix.eng.Caps().Exact,
+		Score: s, Mean: s, CILow: s, CIHigh: s,
+		CIConfidence: quality.Confidence,
+		SOCacheMode:  "none",
+	}, nil
+}
+
+// Close releases the index's background machinery — today the shadow
+// verifier's worker, draining any queued verifications before
+// returning. An index built without ShadowRate has nothing to release;
+// Close is then a no-op. Close the index at most once, after all
+// in-flight queries finish.
+func (ix *Index) Close() {
+	if ix.shadow != nil {
+		ix.shadow.Close()
+		ix.shadow = nil
+	}
+}
+
+// PlanStrategy reports the execution strategy the adaptive planner
+// would route a TopK query to ("brute", "sem-bounded" or "collision"),
+// without recording a planning decision — introspection for wide-event
+// query logs. Returns "" when the index was built without AutoPlan (the
+// static routing applies).
+func (ix *Index) PlanStrategy(k int) string {
+	if ix.planner == nil {
+		return ""
+	}
+	return ix.planner.Peek().String()
 }
 
 // TopK returns the k nodes most similar to u, descending. With

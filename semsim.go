@@ -45,9 +45,11 @@ import (
 	"io"
 
 	"semsim/internal/core"
+	"semsim/internal/engine"
 	"semsim/internal/hin"
 	"semsim/internal/mc"
 	"semsim/internal/obs"
+	"semsim/internal/obs/quality"
 	"semsim/internal/semantic"
 	"semsim/internal/simmat"
 	"semsim/internal/simrank"
@@ -201,3 +203,17 @@ func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 // hits, misses, the derived hit ratio and stored entries
 // (Index.CacheSummary).
 type CacheSummary = mc.CacheSummary
+
+// Explanation is the per-query evidence record returned by
+// Index.ExplainQuery: walk samples used, per-step meeting counts,
+// empirical variance with a 95% CLT confidence interval on the
+// estimate, theta-pruning accounting and cache/kernel provenance. It is
+// JSON-marshalable as-is (the shape served at /explain by semsim
+// serve). See internal/obs/quality for field semantics.
+type Explanation = quality.Explanation
+
+// ErrNodeOutOfRange is wrapped by every bounds-validation error from
+// index entry points that return errors (BatchQuery, SingleSource,
+// ExplainQuery): errors.Is(err, ErrNodeOutOfRange) distinguishes an
+// unknown-node request (HTTP 404 territory) from an internal failure.
+var ErrNodeOutOfRange = engine.ErrNodeOutOfRange
