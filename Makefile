@@ -27,11 +27,13 @@ race:
 # tests — deterministic, CI-friendly.
 fuzz-seed:
 	$(GO) test ./internal/walk/ -run Fuzz -v
+	$(GO) test ./internal/engine/conformance/ -run Fuzz -v
 
 # Open-ended fuzzing session (not part of ci; run locally).
 FUZZTIME ?= 60s
 fuzz:
 	$(GO) test ./internal/walk/ -fuzz FuzzLoadRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/conformance/ -fuzz FuzzBackendAgreement -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -492,6 +492,69 @@ func BenchmarkQueryShadowSampled(b *testing.B) {
 	}
 }
 
+// linearEnv holds an index on the "linear" backend: same small AMiner
+// graph as the shadow twins (the backend's solve state is O(n^2), so the
+// 150-author graph keeps construction and memory modest) with the meet
+// index on, so SingleSource exercises the solved-matrix row scan.
+type linearBenchEnv struct {
+	idx *semsim.Index
+	n   int
+}
+
+var linearEnvCache *linearBenchEnv
+
+func linearEnv(b *testing.B) *linearBenchEnv {
+	b.Helper()
+	if linearEnvCache != nil {
+		return linearEnvCache
+	}
+	d, err := datagen.AMiner(datagen.AMinerConfig{Authors: 150, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
+		NumWalks: 150, WalkLength: 15, Theta: 0.05, Seed: 3, Parallel: true,
+		MeetIndex: true, Backend: "linear",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	linearEnvCache = &linearBenchEnv{idx: idx, n: d.Graph.NumNodes()}
+	return linearEnvCache
+}
+
+// BenchmarkQueryLinear / BenchmarkSingleSourceLinear measure the linear
+// backend's query path: the Gauss-Seidel solve runs once at build, so a
+// query is one triangular-matrix read and single-source one row scan —
+// the floor the sampling backends' per-query walk scoring compares
+// against.
+
+func BenchmarkQueryLinear(b *testing.B) {
+	e := linearEnv(b)
+	for i := 0; i < 1024; i++ {
+		e.idx.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.idx.Query(hin.NodeID(i*7%e.n), hin.NodeID((i*13+1)%e.n))
+	}
+}
+
+func BenchmarkSingleSourceLinear(b *testing.B) {
+	e := linearEnv(b)
+	if _, err := e.idx.SingleSource(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.idx.SingleSource(hin.NodeID(i * 7 % e.n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExplainQuery measures the /explain evidence path against
 // BenchmarkQuerySemSimPrunedSLINGMetrics (same graph, same pairs, same
 // instrumented configuration): the delta is the cost of recording

@@ -9,8 +9,10 @@
 #   2. full test suite under -race          (concurrency correctness —
 #      the stress tests drive 8+ goroutines through one shared cached
 #      Index and assert bit-identical results vs serial runs; includes
-#      the internal/obs concurrent-instrument tests)
-#   3. fuzz seed corpora as unit tests      (IO robustness regression)
+#      the internal/obs concurrent-instrument tests and the
+#      cross-backend conformance harness of internal/engine)
+#   3. fuzz seed corpora as unit tests      (IO robustness regression,
+#      plus the backend-agreement differential fuzzer's seeds)
 #   4. bench drift guard                    (perf regression — reruns
 #      the hot-path benchmarks and fails if any is >25% ns/op slower
 #      than the committed BENCH_query.json baseline)
@@ -59,8 +61,12 @@ go test -race ./...
 echo "==> tier 2: obs instruments under race"
 go test -race ./internal/obs/
 
+echo "==> tier 2: backend conformance under race"
+go test -race ./internal/engine/...
+
 echo "==> tier 3: fuzz seed corpora"
 go test ./internal/walk/ -run Fuzz
+go test ./internal/engine/conformance/ -run Fuzz
 
 echo "==> tier 4: bench drift guard (hot paths vs BENCH_query.json)"
 make bench-drift

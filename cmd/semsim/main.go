@@ -10,7 +10,7 @@
 //
 // Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
 // node, -t walk length, -sling SO-cache cutoff, -seed, -backend engine
-// backend (mc|reduced|exact), -autoplan adaptive top-k planning. The
+// backend (mc|reduced|exact|linear), -autoplan adaptive top-k planning. The
 // walk index can be persisted across runs with -save-walks FILE /
 // -load-walks FILE. serve additionally takes -debug-addr (required),
 // -warmup, -shadow-rate/-shadow-backend (sampled shadow verification on
@@ -62,7 +62,7 @@ func main() {
 		shadowRate = fs.Int("shadow-rate", 256,
 			"serve: re-score 1 in N queries on an exact reference backend off the hot path (0 disables shadow verification)")
 		shadowBackend = fs.String("shadow-backend", "",
-			"serve: reference backend for shadow verification (exact|reduced; empty picks by graph size)")
+			"serve: reference backend for shadow verification (exact|reduced|linear; empty picks by graph size)")
 		queryLog = fs.String("query-log", "",
 			"serve: append one JSON wide event per request to this file ('-' = stdout)")
 		healthEvery = fs.Duration("health-interval", 0,

@@ -265,3 +265,86 @@ func TestServeQualityTelemetry(t *testing.T) {
 		t.Fatal("serve did not shut down within 30s of stop")
 	}
 }
+
+// TestServeLinearSelfShadow serves on the linear backend while shadowing
+// against "linear" at rate 1: the verifier must reuse the index's own
+// backend (no second solve — the shadow-build histogram never registers)
+// and, scoring every query against the matrix that produced it, count
+// zero drift at any severity.
+func TestServeLinearSelfShadow(t *testing.T) {
+	g, lin := smokeGraph(t)
+	stop := make(chan struct{})
+	cfg := serveConfig{
+		debugAddr: "127.0.0.1:0",
+		warmup:    8,
+		opts: semsim.IndexOptions{
+			NumWalks: 60, WalkLength: 8, C: 0.6, Theta: 0.05,
+			Seed:    2,
+			Backend: "linear", ShadowRate: 1, ShadowBackend: "linear",
+		},
+		healthInterval: time.Hour, // health ticker out of the way
+		stop:           stop,
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- runServe(g, lin, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not come up within 30s")
+	}
+	base := "http://" + addr
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	for _, path := range []string{
+		"/query?u=ada&v=ben", "/query?u=ada&v=eve", "/query?u=ben&v=cho",
+	} {
+		get(path)
+	}
+	// Let the shadow worker drain its queue.
+	time.Sleep(150 * time.Millisecond)
+
+	metrics := get("/metrics")
+	if strings.Contains(metrics, "semsim_build_shadow_backend_seconds") {
+		t.Error("shadow built a second backend instead of reusing the linear index")
+	}
+	if strings.Contains(metrics, "semsim_shadow_checked_total 0\n") {
+		t.Error("shadow verifier checked nothing at rate 1")
+	}
+	for _, severity := range []string{"warn", "critical"} {
+		series := `semsim_shadow_drift_total{severity="` + severity + `"}`
+		if !strings.Contains(metrics, series+" 0\n") {
+			t.Errorf("self-shadowed linear backend drifted: %s not zero", series)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down within 30s of stop")
+	}
+}

@@ -75,7 +75,7 @@ func newReducedBackend(cfg Config) (Backend, error) {
 func (b *reducedBackend) Name() string { return "reduced" }
 
 func (b *reducedBackend) Caps() Capabilities {
-	return Capabilities{HasSingleSource: true, Exact: true}
+	return Capabilities{HasSingleSource: true, Exact: true, Prunes: b.theta > 0}
 }
 
 func (b *reducedBackend) Query(u, v hin.NodeID) (float64, error) {

@@ -58,6 +58,18 @@ type Config struct {
 	// its O(n^2) matrix and O(k n^2 d^2) solve are only for small
 	// graphs (default 4096 nodes).
 	MaxExactNodes int
+
+	// LinearMaxSweeps bounds the Gauss-Seidel sweeps of the linear
+	// backend's linearized solve (default DefaultLinearSweeps).
+	LinearMaxSweeps int
+	// LinearResidual is the linear backend's residual stop criterion:
+	// sweeping ends once no score or diagonal-correction entry moved
+	// by more than this (default DefaultLinearResidual).
+	LinearResidual float64
+	// MaxLinearNodes caps the graph size the linear backend accepts —
+	// like exact it holds an O(n^2) matrix and sweeps in O(n^2 d^2)
+	// (default DefaultMaxLinearNodes).
+	MaxLinearNodes int
 }
 
 // fillSolve defaults the fixpoint-solve knobs shared by the reduced and
@@ -72,4 +84,17 @@ func (c *Config) fillSolve() (iters int, tol float64) {
 		tol = 1e-10
 	}
 	return iters, tol
+}
+
+// fillLinear defaults the linear backend's sweep/residual budget.
+func (c *Config) fillLinear() (sweeps int, residual float64) {
+	sweeps = c.LinearMaxSweeps
+	if sweeps == 0 {
+		sweeps = DefaultLinearSweeps
+	}
+	residual = c.LinearResidual
+	if residual == 0 {
+		residual = DefaultLinearResidual
+	}
+	return sweeps, residual
 }

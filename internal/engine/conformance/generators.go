@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semsim/internal/hin"
+	"semsim/internal/semantic"
+	"semsim/internal/taxonomy"
+)
+
+// RandomGraph builds a connected random multigraph: a ring guarantees
+// connectivity and positive in-degree everywhere (so the SemSim
+// recursion is nontrivial for every pair), plus extra random weighted
+// edges on top. The same seed always yields the same graph.
+func RandomGraph(seed int64, n, extraEdges int) *hin.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%03d", i), "t")
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(hin.NodeID(i), hin.NodeID((i+1)%n), "e", 1)
+	}
+	added := make(map[[2]int]bool)
+	for len(added) < extraEdges {
+		f, v := rng.Intn(n), rng.Intn(n)
+		if f == v || added[[2]int{f, v}] {
+			continue
+		}
+		added[[2]int{f, v}] = true
+		b.AddEdge(hin.NodeID(f), hin.NodeID(v), "e", 0.5+rng.Float64())
+	}
+	return b.MustBuild()
+}
+
+// RandomMeasure returns an admissible random semantic measure (symmetric,
+// unit self-similarity) with every off-diagonal value in [lo, 1]. With
+// lo above the pruning threshold the reduced backend retains every pair,
+// so Theorem 3.5 exactness covers the whole pair space; the taxonomy
+// generator below is the counterpart that does exercise pruning.
+func RandomMeasure(seed int64, n int, lo float64) semantic.Measure {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n*n)
+	for u := 0; u < n; u++ {
+		vals[u*n+u] = 1
+		for v := u + 1; v < n; v++ {
+			s := lo + (1-lo)*rng.Float64()
+			vals[u*n+v] = s
+			vals[v*n+u] = s
+		}
+	}
+	return semantic.Func{N: "conformance-random", F: func(u, v hin.NodeID) float64 {
+		return vals[int(u)*n+int(v)]
+	}}
+}
+
+// TaxonomyGraph builds a random HIN in the paper's shape: entity nodes
+// wired into a ring-plus-random-links structure, each attached by an
+// "is-a" edge to a leaf of a small concept tree, with the Lin measure
+// over the extracted taxonomy. Unlike RandomMeasure, Lin yields
+// semantically distant pairs below the pruning threshold, so this
+// dataset exercises the dropped-pair and sem-skip contracts.
+func TaxonomyGraph(tb testing.TB, seed int64, entities int) (*hin.Graph, semantic.Measure) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hin.NewBuilder()
+	root := b.AddNode("root", "concept")
+	var leaves []hin.NodeID
+	for i := 0; i < 3; i++ {
+		br := b.AddNode(fmt.Sprintf("branch%d", i), "concept")
+		b.AddEdge(br, root, "is-a", 1)
+		for j := 0; j < 2; j++ {
+			lf := b.AddNode(fmt.Sprintf("leaf%d_%d", i, j), "concept")
+			b.AddEdge(lf, br, "is-a", 1)
+			leaves = append(leaves, lf)
+		}
+	}
+	ents := make([]hin.NodeID, entities)
+	for i := range ents {
+		ents[i] = b.AddNode(fmt.Sprintf("e%03d", i), "entity")
+		b.AddEdge(ents[i], leaves[rng.Intn(len(leaves))], "is-a", 1)
+	}
+	for i := range ents {
+		b.AddEdge(ents[i], ents[(i+1)%entities], "link", 1)
+	}
+	for k := 0; k < 2*entities; k++ {
+		f, v := rng.Intn(entities), rng.Intn(entities)
+		if f == v {
+			continue
+		}
+		b.AddEdge(ents[f], ents[v], "link", 0.5+rng.Float64())
+	}
+	g := b.MustBuild()
+	tax, err := taxonomy.FromGraph(g, taxonomy.Options{})
+	if err != nil {
+		tb.Fatalf("conformance: taxonomy.FromGraph: %v", err)
+	}
+	return g, semantic.Lin{Tax: tax}
+}

@@ -1,24 +1,29 @@
 // Package engine is the pluggable computation layer behind the public
-// semsim.Index: a Backend interface over the paper's three ways of
-// computing the same SemSim scores — the pruned importance-sampling
-// Monte-Carlo estimator of Section 4 (backend "mc"), the materialized
-// G^2_theta reduction of Section 3 (backend "reduced", exact scores for
-// retained pairs), and the iterative all-pairs fixpoint of Section 2.3
-// (backend "exact", small graphs) — plus the adaptive query Planner that
+// semsim.Index: a Backend interface over four ways of computing the
+// same SemSim scores — the pruned importance-sampling Monte-Carlo
+// estimator of Section 4 (backend "mc"), the materialized G^2_theta
+// reduction of Section 3 (backend "reduced", exact scores for retained
+// pairs), the iterative all-pairs fixpoint of Section 2.3 (backend
+// "exact", small graphs), and the Gauss-Seidel linearized solve in the
+// style of Maehara et al. (backend "linear", exact up to a residual
+// budget, small-to-mid graphs) — plus the adaptive query Planner that
 // picks a top-k execution strategy per query from recorded graph/walk
 // statistics (planner.go).
 //
 // Backends register themselves by name in an init-time registry
-// (Register/New/Names), so future computation strategies — linearized
-// SimRank, ProbeSim-style dynamic probing, remote shards — plug in
-// without touching the public API: semsim.IndexOptions.Backend selects
-// the implementation, and every backend answers the same four query
-// shapes behind the same bounds-validated entry points.
+// (Register/New/Names), so future computation strategies —
+// ProbeSim-style dynamic probing, remote shards — plug in without
+// touching the public API: semsim.IndexOptions.Backend selects the
+// implementation, and every backend answers the same four query shapes
+// behind the same bounds-validated entry points.
 //
-// All backends are validated against each other by the equivalence
-// property suite (equivalence_test.go): on random small graphs the three
-// built-in backends agree within the Monte-Carlo tolerance, and every
-// planner strategy returns the identical top-k set.
+// All backends are validated against each other by the differential
+// conformance harness (internal/engine/conformance): every registered
+// backend is driven through randomized graph and taxonomy generators,
+// pairwise agreement against the exact reference with per-backend
+// tolerance bands, paper invariants, capability/bounds contracts and
+// hand-verified golden fixtures. A new backend gets the whole suite by
+// registering — conformance discovers backends through Names().
 package engine
 
 import (
@@ -42,6 +47,12 @@ type Capabilities struct {
 	// rather than Monte-Carlo estimates. The reduced backend is exact
 	// for retained pairs (Theorem 3.5); dropped pairs score 0.
 	Exact bool
+	// Prunes reports that the backend drops pairs whose semantic
+	// similarity is at or below theta. Dropped pairs score 0 and the
+	// loss propagates one-sidedly into retained scores, bounded by
+	// theta (Prop 4.6) — the conformance harness widens its lower
+	// agreement band accordingly.
+	Prunes bool
 }
 
 // Backend answers the four SemSim query shapes over one prepared data

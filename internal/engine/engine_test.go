@@ -77,7 +77,7 @@ func buildConfig(t testing.TB, g *hin.Graph, sem semantic.Measure) Config {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"mc", "reduced", "exact"} {
+	for _, want := range []string{"mc", "reduced", "exact", "linear"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -138,8 +138,9 @@ func TestCapabilities(t *testing.T) {
 	}{
 		{"mc", nil, Capabilities{HasSingleSource: true, Exact: false}},
 		{"mc", func(c Config) Config { c.Meet = nil; return c }, Capabilities{}},
-		{"reduced", nil, Capabilities{HasSingleSource: true, Exact: true}},
+		{"reduced", nil, Capabilities{HasSingleSource: true, Exact: true, Prunes: true}},
 		{"exact", nil, Capabilities{HasSingleSource: true, Exact: true}},
+		{"linear", nil, Capabilities{HasSingleSource: true, Exact: true}},
 	} {
 		c := cfg
 		if tc.mut != nil {
@@ -166,7 +167,7 @@ func TestBoundsValidation(t *testing.T) {
 	cfg := buildConfig(t, g, testMeasure(6, 10))
 	bad := []hin.NodeID{-1, hin.NodeID(g.NumNodes()), 1 << 30}
 
-	for _, name := range []string{"mc", "reduced", "exact"} {
+	for _, name := range []string{"mc", "reduced", "exact", "linear"} {
 		b, err := New(name, cfg)
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
@@ -238,6 +239,19 @@ func TestPlannerDecisions(t *testing.T) {
 		// events than brute probes, fall through to brute.
 		{"dense meet small", Stats{Nodes: 20, NumWalks: 100, WalkLength: 10,
 			HasMeet: true, MeetEntries: 20 * 100 * 11}, StrategyBrute},
+		// A solved linearization beats everything while the graph is
+		// within the solve's node budget — even when collision would
+		// otherwise win.
+		{"linear solved", Stats{Nodes: 2000, NumWalks: 100, WalkLength: 10,
+			HasMeet: true, MeetEntries: 10_000, LinearSolved: true}, StrategyLinear},
+		// Above the budget the planner must never route to linear, no
+		// matter what LinearSolved claims: fall through to the usual
+		// large-graph choice.
+		{"linear above cap", Stats{Nodes: 5000, NumWalks: 100, WalkLength: 10,
+			LinearSolved: true, LinearMaxNodes: 4096}, StrategySemBounded},
+		// An explicit budget below the default is honored.
+		{"linear above custom cap", Stats{Nodes: 100, NumWalks: 100, WalkLength: 10,
+			LinearSolved: true, LinearMaxNodes: 64}, StrategyBrute},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -250,6 +264,47 @@ func TestPlannerDecisions(t *testing.T) {
 			// Decisions are deterministic and counted.
 			for i := 0; i < 4; i++ {
 				if again := p.TopKStrategy(10); again != got {
+					t.Fatalf("replanning the same stats gave %v then %v", got, again)
+				}
+			}
+			snap := reg.Snapshot()
+			key := `semsim_plan_total{strategy="` + got.String() + `"}`
+			if snap.Counters[key] != 5 {
+				t.Errorf("counter %s = %d, want 5", key, snap.Counters[key])
+			}
+		})
+	}
+}
+
+// TestPlannerSingleSource pins the single-source routing table: a
+// solved linearization wins inside its node budget, the inverted meet
+// index wins otherwise, and the brute scan is the fallback. Decisions
+// must be deterministic and land in the per-strategy counter.
+func TestPlannerSingleSource(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats Stats
+		want  Strategy
+	}{
+		{"linear solved", Stats{Nodes: 500, NumWalks: 100, WalkLength: 10,
+			HasMeet: true, MeetEntries: 5000, LinearSolved: true}, StrategyLinear},
+		{"linear above cap", Stats{Nodes: 5000, NumWalks: 100, WalkLength: 10,
+			HasMeet: true, MeetEntries: 5000, LinearSolved: true, LinearMaxNodes: 4096},
+			StrategyCollision},
+		{"meet only", Stats{Nodes: 500, NumWalks: 100, WalkLength: 10,
+			HasMeet: true, MeetEntries: 5000}, StrategyCollision},
+		{"no meet", Stats{Nodes: 500, NumWalks: 100, WalkLength: 10}, StrategyBrute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			p := NewPlanner(tc.stats, reg)
+			got := p.SingleSourceStrategy()
+			if got != tc.want {
+				t.Fatalf("SingleSourceStrategy = %v, want %v", got, tc.want)
+			}
+			for i := 0; i < 4; i++ {
+				if again := p.SingleSourceStrategy(); again != got {
 					t.Fatalf("replanning the same stats gave %v then %v", got, again)
 				}
 			}

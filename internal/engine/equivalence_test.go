@@ -1,100 +1,20 @@
 package engine
 
 import (
-	"math"
 	"reflect"
 	"testing"
 
 	"semsim/internal/hin"
 	"semsim/internal/obs"
-	"semsim/internal/walk"
 )
 
-// TestBackendEquivalence is the property test of the engine layer: on
-// random small graphs the three built-in backends compute the same
-// scores. The reduced and exact backends are both fixpoint solvers —
-// with every pair retained (the test measure keeps sem >= 0.1 > theta)
-// Theorem 3.5 makes them equal to solver tolerance — while the
-// Monte-Carlo estimator must land within its sampling tolerance.
-func TestBackendEquivalence(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3} {
-		n := 12 + int(seed)*4
-		g := testGraph(t, seed, n, 3*n)
-		sem := testMeasure(seed+100, n)
-		ix, err := walk.Build(g, walk.Options{NumWalks: 800, Length: 12, Seed: seed + 200})
-		if err != nil {
-			t.Fatalf("walk.Build: %v", err)
-		}
-		cfg := Config{
-			Graph: g, Sem: sem, C: 0.6, Theta: 0.05,
-			Walks: ix, Meet: walk.BuildMeetIndex(ix),
-		}
-		backends := map[string]Backend{}
-		for _, name := range []string{"mc", "reduced", "exact"} {
-			b, err := New(name, cfg)
-			if err != nil {
-				t.Fatalf("seed %d: New(%q): %v", seed, name, err)
-			}
-			backends[name] = b
-		}
-
-		var mcSum, mcMax float64
-		pairs := 0
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				exact, err := backends["exact"].Query(hin.NodeID(u), hin.NodeID(v))
-				if err != nil {
-					t.Fatalf("exact.Query: %v", err)
-				}
-				red, err := backends["reduced"].Query(hin.NodeID(u), hin.NodeID(v))
-				if err != nil {
-					t.Fatalf("reduced.Query: %v", err)
-				}
-				est, err := backends["mc"].Query(hin.NodeID(u), hin.NodeID(v))
-				if err != nil {
-					t.Fatalf("mc.Query: %v", err)
-				}
-				// Exact agreement between the two solvers (Thm 3.5: all
-				// pairs retained, so the reduction drops nothing).
-				if d := math.Abs(exact - red); d > 1e-6 {
-					t.Errorf("seed %d: reduced vs exact differ at (%d,%d): %.9f vs %.9f",
-						seed, u, v, red, exact)
-				}
-				d := math.Abs(exact - est)
-				mcSum += d
-				if d > mcMax {
-					mcMax = d
-				}
-				pairs++
-			}
-		}
-		// The estimator is unbiased (Prop 4.4) but one walk index carries
-		// sampling noise; with n_w = 800 the deviation stays well inside
-		// these bounds (observed max ~0.05 over the seeds used here).
-		if mean := mcSum / float64(pairs); mean > 0.03 {
-			t.Errorf("seed %d: mc mean abs deviation %.4f > 0.03", seed, mean)
-		}
-		if mcMax > 0.12 {
-			t.Errorf("seed %d: mc max abs deviation %.4f > 0.12", seed, mcMax)
-		}
-
-		// QueryBatch is positionally aligned with single-pair Query on
-		// every backend.
-		batch := [][2]hin.NodeID{{0, 1}, {2, 3}, {1, 0}, {4, 4}}
-		for name, b := range backends {
-			got, err := b.QueryBatch(batch, 2)
-			if err != nil {
-				t.Fatalf("%s.QueryBatch: %v", name, err)
-			}
-			for i, p := range batch {
-				want, _ := b.Query(p[0], p[1])
-				if got[i] != want {
-					t.Errorf("%s.QueryBatch[%d] = %v, Query = %v", name, i, got[i], want)
-				}
-			}
-		}
-	}
-}
+// The cross-backend equivalence property that used to live here (all
+// backends compute the same scores within analytically derived
+// tolerance bands) moved into the reusable differential harness at
+// internal/engine/conformance, which additionally covers golden
+// fixtures, invariants, shape and bounds contracts, and discovers
+// registered backends by name. This file keeps only the planner-side
+// identity property, which needs the package-internal StrategyRunner.
 
 // TestStrategyIdentity asserts the planner's core invariant: every top-k
 // execution strategy of the mc backend returns the identical result —

@@ -69,6 +69,23 @@ func (b *reducedBackend) Explain(u, v hin.NodeID) (*quality.Explanation, error) 
 	return ex, nil
 }
 
+// Explain on the linear backend reports the linearized-solve score
+// with a degenerate interval plus the solve's convergence evidence:
+// how many Gauss-Seidel sweeps ran and the residual they ended on.
+func (b *linearBackend) Explain(u, v hin.NodeID) (*quality.Explanation, error) {
+	if err := CheckPair(b.g, u, v); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	s := b.scores.At(u, v)
+	ex := exactExplanation(u, v, s, b.Name())
+	ex.Sem = b.semOf(u, v)
+	ex.SolveSweeps = b.sweeps
+	ex.SolveResidual = b.residual
+	ex.ElapsedSeconds = time.Since(t0).Seconds()
+	return ex, nil
+}
+
 // exactExplanation is the shared degenerate-interval record of the
 // exact-family backends.
 func exactExplanation(u, v hin.NodeID, score float64, backend string) *quality.Explanation {

@@ -28,6 +28,12 @@ const (
 	// meet u's, enumerated from the inverted meet index. Wins when
 	// meetings are sparse (large graphs, short walks).
 	StrategyCollision
+	// StrategyLinear reads the linear backend's converged linearized
+	// solve: every query shape is a row scan over the solved matrix.
+	// Available only when the serving backend holds such a solve
+	// (Stats.LinearSolved) and the graph fits the solve's node budget;
+	// it then dominates every sampling strategy on cost.
+	StrategyLinear
 
 	numStrategies
 )
@@ -41,6 +47,8 @@ func (s Strategy) String() string {
 		return "sem-bounded"
 	case StrategyCollision:
 		return "collision"
+	case StrategyLinear:
+		return "linear"
 	}
 	return fmt.Sprintf("strategy(%d)", uint8(s))
 }
@@ -70,6 +78,16 @@ type Stats struct {
 	// break-even point of the sem-bounded scan: its n upfront semantic
 	// probes become nearly free, leaving only the sort overhead.
 	DenseSemKernel bool
+	// LinearSolved reports that the serving backend holds a converged
+	// linearized solve (backend "linear"): queries are matrix reads,
+	// so the planner routes to StrategyLinear whenever the graph fits
+	// the solve budget.
+	LinearSolved bool
+	// LinearMaxNodes is the node cap the linearized solve was budgeted
+	// for (0 means DefaultMaxLinearNodes). Above it the iteration
+	// budget no longer amortizes and the planner must never pick the
+	// linear strategy, even if LinearSolved is set.
+	LinearMaxNodes int
 }
 
 // CollectStats records the planner inputs for one built index. meet may
@@ -141,8 +159,40 @@ func (p *Planner) TopKStrategy(k int) Strategy {
 	return s
 }
 
-// pick applies the cost model. The two scan families are compared by
-// their dominant term:
+// SingleSourceStrategy picks the strategy for one single-source
+// enumeration and records the decision. Single-source has no
+// sem-bounded variant (it must return every nonzero candidate, so
+// early termination cannot apply); the choice is between the solved
+// linear row scan, the collision enumeration and the brute scan.
+func (p *Planner) SingleSourceStrategy() Strategy {
+	s := p.pickSingleSource()
+	p.plans[s].Inc()
+	return s
+}
+
+func (p *Planner) pickSingleSource() Strategy {
+	st := p.stats
+	if st.LinearSolved && st.Nodes <= st.linearCap() {
+		return StrategyLinear
+	}
+	if st.HasMeet {
+		return StrategyCollision
+	}
+	return StrategyBrute
+}
+
+// linearCap is the node budget of the linearized solve.
+func (st Stats) linearCap() int {
+	if st.LinearMaxNodes > 0 {
+		return st.LinearMaxNodes
+	}
+	return DefaultMaxLinearNodes
+}
+
+// pick applies the cost model. A converged linearized solve beats
+// every sampling strategy — one row of O(1) reads — so it is checked
+// first, guarded by the solve's node budget. The two scan families are
+// then compared by their dominant term:
 //
 //   - brute probes all n candidates, each a Meet scan over n_w coupled
 //     walks: ~n * n_w walk comparisons;
@@ -156,6 +206,9 @@ func (p *Planner) TopKStrategy(k int) Strategy {
 //     overhead floor.
 func (p *Planner) pick() Strategy {
 	st := p.stats
+	if st.LinearSolved && st.Nodes <= st.linearCap() {
+		return StrategyLinear
+	}
 	if st.HasMeet && st.Nodes > 0 {
 		cells := float64(st.Nodes) * float64(st.WalkLength+1)
 		load := float64(st.MeetEntries) / cells

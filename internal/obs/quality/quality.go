@@ -101,6 +101,14 @@ type Explanation struct {
 	// that also under-estimate the variance.
 	SkewShift float64 `json:"skew_shift,omitempty"`
 
+	// Iterative-solve evidence (the linear backend): SolveSweeps is
+	// how many Gauss-Seidel sweeps the linearized solve ran and
+	// SolveResidual the max absolute score change of the final sweep —
+	// the convergence actually achieved against the configured
+	// residual budget. Zero on every other backend.
+	SolveSweeps   int     `json:"solve_sweeps,omitempty"`
+	SolveResidual float64 `json:"solve_residual,omitempty"`
+
 	// PruneEnvelope is the one-sided additive error bound introduced by
 	// theta-pruning (Prop 4.6): the true score lies within
 	// [CILow, CIHigh + PruneEnvelope] at the stated confidence. Zero

@@ -2,6 +2,7 @@ package semsim
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"semsim/internal/engine"
@@ -98,12 +99,29 @@ type IndexOptions struct {
 	//     scores for retained pairs (sem > Theta), 0 for dropped ones;
 	//   - "exact": the iterative all-pairs fixpoint of Section 2.3 —
 	//     exact everywhere, small graphs only (it refuses graphs
-	//     beyond a few thousand nodes).
+	//     beyond a few thousand nodes);
+	//   - "linear": the linearized Gauss-Seidel solve (Maehara et
+	//     al.'s diagonal-correction formulation folded with the
+	//     semantic factor) — exact to solver tolerance, typically
+	//     converging in far fewer sweeps than "exact" needs
+	//     iterations, same node cap. Convergence knobs:
+	//     LinearMaxSweeps / LinearResidual / MaxLinearNodes.
 	//
 	// The walk index (and with it SaveWalks/SimRankQuery) is built for
 	// every backend; non-mc backends additionally build and query
 	// their own structure. Unknown names fail BuildIndex.
 	Backend string
+	// LinearMaxSweeps caps the Gauss-Seidel sweeps of the "linear"
+	// backend's solve (0 uses the engine default, 100). The solve
+	// stops earlier once the residual budget is met.
+	LinearMaxSweeps int
+	// LinearResidual is the "linear" backend's convergence target:
+	// the solve stops once the largest per-sweep score change drops
+	// to or below it (0 uses the engine default, 1e-9).
+	LinearResidual float64
+	// MaxLinearNodes caps the graph size the "linear" backend accepts
+	// (0 uses the engine default, 4096); its solve state is O(n^2).
+	MaxLinearNodes int
 	// AutoPlan attaches the adaptive query planner: each TopK call
 	// picks its execution strategy (collision-driven, sem-bounded or
 	// brute scan) from graph/walk statistics recorded at build time,
@@ -125,9 +143,11 @@ type IndexOptions struct {
 	// is 256 (one query in 256).
 	ShadowRate int
 	// ShadowBackend names the reference backend the verifier re-scores
-	// on ("exact" or "reduced"). Empty picks "exact" when the graph
-	// fits its node cap and "reduced" otherwise. If the index's own
-	// backend already has that name (and is exact), it is reused
+	// on ("exact", "reduced" or "linear"). It must be exact-capable —
+	// a sampling reference would report its own noise as drift — and
+	// BuildIndex rejects one that is not. Empty picks "exact" when the
+	// graph fits its node cap and "reduced" otherwise. If the index's
+	// own backend already has that name (and is exact), it is reused
 	// instead of building a second copy.
 	ShadowBackend string
 	// ShadowQueue bounds the verifier's pending-sample queue (0 uses
@@ -263,6 +283,10 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 	if opts.AutoPlan {
 		st := engine.CollectStats(g, ix, idx.meet)
 		st.DenseSemKernel = kern != nil && kern.DenseMode()
+		// The linear strategy is only routable when the backend that
+		// owns the solved score matrix is the one answering queries.
+		st.LinearSolved = opts.Backend == "linear"
+		st.LinearMaxNodes = opts.MaxLinearNodes
 		idx.planner = engine.NewPlanner(st, opts.Metrics)
 	}
 	backendLat := opts.Metrics.Histogram("semsim_build_backend_seconds",
@@ -273,6 +297,8 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 		Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
 		Estimator: est, Walks: ix, Meet: idx.meet, Cache: cache,
 		Workers: opts.Workers, Metrics: opts.Metrics, Planner: idx.planner,
+		LinearMaxSweeps: opts.LinearMaxSweeps, LinearResidual: opts.LinearResidual,
+		MaxLinearNodes: opts.MaxLinearNodes,
 	})
 	backendLat.ObserveSince(tb)
 	sp.End()
@@ -309,13 +335,18 @@ func (ix *Index) attachShadow(g *Graph, sem Measure, opts IndexOptions) error {
 		ref, err = engine.New(name, engine.Config{
 			Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
 			Estimator: ix.est, Walks: ix.walks, Meet: ix.meet, Cache: ix.cache,
-			Workers: opts.Workers,
+			Workers:         opts.Workers,
+			LinearMaxSweeps: opts.LinearMaxSweeps, LinearResidual: opts.LinearResidual,
+			MaxLinearNodes: opts.MaxLinearNodes,
 		})
 		shadowLat.ObserveSince(ts)
 		sp.End()
 		if err != nil {
 			return err
 		}
+	}
+	if !ref.Caps().Exact {
+		return fmt.Errorf("semsim: shadow backend %q is not exact-capable; drift against a sampling reference would measure its noise, not ours", name)
 	}
 	// Drift severities anchor on the theta envelope (Prop 4.6): an
 	// absolute error beyond theta means pruning ate more than its
