@@ -5,7 +5,11 @@
 #      plus the observability smoke test: starts the semsim serve
 #      debug server, scrapes /metrics and asserts the core series,
 #      then lints a live /metrics scrape with cmd/promlint (the 0.0.4
-#      exposition-format gate)
+#      exposition-format gate), then drives the same live server with
+#      cmd/loadgen for ~5s and asserts nonzero throughput, zero 5xx
+#      and a sane p99 (the serving-SLO smoke: burn-rate gauges,
+#      build_info and the profile counters are all in the linted
+#      scrape, and the trace log fills with sampled spans)
 #   2. full test suite under -race          (concurrency correctness —
 #      the stress tests drive 8+ goroutines through one shared cached
 #      Index and assert bit-identical results vs serial runs; includes
@@ -36,9 +40,13 @@ echo "==> tier 1: /metrics exposition lint (promlint scrape of a live server)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 go build -o "$tmpdir/semsim" ./cmd/semsim
+go build -o "$tmpdir/loadgen" ./cmd/loadgen
 go run ./cmd/datagen -dataset aminer -size 200 -seed 1 -out "$tmpdir/smoke.hin"
 "$tmpdir/semsim" serve -graph "$tmpdir/smoke.hin" -debug-addr 127.0.0.1:0 \
-    -nw 40 -t 6 -query-log "$tmpdir/query.ndjson" 2> "$tmpdir/serve.log" &
+    -nw 40 -t 6 -query-log "$tmpdir/query.ndjson" -query-log-max-bytes 262144 \
+    -slo-latency 250ms -slo-window 1m \
+    -trace-log "$tmpdir/trace.ndjson" -trace-sample 0.1 \
+    -profile-p99 2s 2> "$tmpdir/serve.log" &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -49,11 +57,26 @@ for _ in $(seq 1 100); do
 done
 [ -n "$addr" ] || { cat "$tmpdir/serve.log"; echo "ci: serve never bound"; exit 1; }
 go run ./cmd/promlint -url "http://$addr/metrics"
+echo "    /metrics exposition clean (incl. SLO, build_info and profiler series)"
+
+echo "==> tier 1: loadgen smoke (5s closed loop against the live server)"
+"$tmpdir/loadgen" -url "http://$addr" -graph "$tmpdir/smoke.hin" \
+    -duration 5s -warmup 1s -concurrency 4 -seed 1 \
+    -check-min-qps 1 -check-max-5xx 0 -check-max-p99 2s \
+    -out "$tmpdir/loadgen.json"
+grep -o '"throughput_qps": [0-9.]*' "$tmpdir/loadgen.json" \
+    || { echo "ci: loadgen report missing throughput"; exit 1; }
+# Re-lint the scrape after real traffic: the burn-rate gauges and the
+# HTTP/trace-log counters are now nonzero and must still be clean.
+go run ./cmd/promlint -url "http://$addr/metrics"
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 [ -f "$tmpdir/query.ndjson" ] || { echo "ci: -query-log file was never created"; exit 1; }
-echo "    /metrics exposition clean"
+[ -s "$tmpdir/trace.ndjson" ] || { echo "ci: -trace-log never received a sampled trace"; exit 1; }
+grep -q "final metrics snapshot" "$tmpdir/serve.log" \
+    || { echo "ci: serve shutdown never logged the final snapshot"; exit 1; }
+echo "    loadgen smoke green (report at loadgen.json, traces sampled, final snapshot logged)"
 
 echo "==> tier 2: race detector"
 go test -race ./...

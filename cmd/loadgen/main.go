@@ -1,0 +1,153 @@
+// Command loadgen drives a running `semsim serve` instance with a
+// deterministic seeded workload and reports throughput and latency
+// percentiles as JSON. It is the measurement half of the serving SLO
+// story: serve exports burn rates, loadgen supplies the load that makes
+// them mean something.
+//
+//	loadgen -url http://127.0.0.1:6060 -graph g.hin -duration 10s \
+//	        -concurrency 8 -mix query=70,topk=20,explain=10
+//
+// Two arrival models:
+//
+//	closed loop (default): -concurrency workers issue back-to-back
+//	    requests — measures the server's capacity.
+//	open loop (-qps N): requests arrive on a fixed schedule and latency
+//	    is measured from the scheduled arrival, so queueing delay is
+//	    visible (coordinated-omission-resistant).
+//
+// The node space is read from the same -graph file the server loads, so
+// the workload only names nodes that exist. Before warmup the generator
+// gates on /healthz returning 200 — a server still building its index
+// answers 503 and loadgen waits instead of measuring the build.
+//
+// For CI use the -check-* flags assert report invariants (minimum
+// throughput, p99 ceiling, 5xx budget) and exit nonzero on violation,
+// so shell harnesses need no JSON parsing.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semsim"
+	"semsim/internal/loadgen"
+)
+
+func main() {
+	var (
+		baseURL     = flag.String("url", "", "base URL of the running semsim serve instance (required)")
+		graphPath   = flag.String("graph", "", "HIN graph file the server was started with; supplies the node space (required)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured phase length")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup phase length (unmeasured traffic after /healthz turns ready)")
+		concurrency = flag.Int("concurrency", 8, "worker count")
+		qps         = flag.Float64("qps", 0, "target arrival rate; > 0 switches to open-loop mode")
+		mixSpec     = flag.String("mix", "query=70,topk=20,explain=10", "endpoint mix as endpoint=weight pairs")
+		k           = flag.Int("k", 10, "k for /topk requests")
+		seed        = flag.Int64("seed", 1, "workload seed (same seed + same graph = same request sequence)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		readyWait   = flag.Duration("ready-timeout", 60*time.Second, "how long to wait for /healthz to turn ready")
+		out         = flag.String("out", "", "write the JSON report here instead of stdout")
+
+		checkMinQPS = flag.Float64("check-min-qps", 0, "exit 1 unless measured throughput is at least this (0 = no check)")
+		checkMaxP99 = flag.Duration("check-max-p99", 0, "exit 1 if aggregate p99 exceeds this (0 = no check)")
+		checkMax5xx = flag.Int64("check-max-5xx", -1, "exit 1 if 5xx responses exceed this (-1 = no check)")
+	)
+	flag.Parse()
+	if *baseURL == "" || *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url and -graph are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := semsim.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	nodes := make([]string, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = g.NodeName(semsim.NodeID(i))
+	}
+	if len(nodes) == 0 {
+		fatal("graph has no nodes")
+	}
+
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	runner, err := loadgen.NewRunner(loadgen.Options{
+		BaseURL:      *baseURL,
+		Workload:     &loadgen.Workload{Nodes: nodes, Mix: mix, K: *k},
+		OpenLoop:     *qps > 0,
+		TargetQPS:    *qps,
+		Concurrency:  *concurrency,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		Timeout:      *timeout,
+		ReadyTimeout: *readyWait,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			failed = true
+			fmt.Fprintf(os.Stderr, "loadgen: check failed: "+format+"\n", args...)
+		}
+	}
+	if *checkMinQPS > 0 {
+		check(rep.ThroughputQPS >= *checkMinQPS,
+			"throughput %.1f qps < required %.1f", rep.ThroughputQPS, *checkMinQPS)
+	}
+	if *checkMaxP99 > 0 {
+		check(rep.Latency.P99 <= checkMaxP99.Seconds(),
+			"p99 %.6fs > ceiling %s", rep.Latency.P99, *checkMaxP99)
+	}
+	if *checkMax5xx >= 0 {
+		check(rep.Status5xx <= *checkMax5xx,
+			"%d 5xx responses > budget %d", rep.Status5xx, *checkMax5xx)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "loadgen:", v)
+	os.Exit(1)
+}

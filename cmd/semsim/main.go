@@ -14,12 +14,16 @@
 // walk index can be persisted across runs with -save-walks FILE /
 // -load-walks FILE. serve additionally takes -debug-addr (required),
 // -warmup, -shadow-rate/-shadow-backend (sampled shadow verification on
-// an exact reference backend), -query-log (JSON wide-event log) and
-// -health-interval (runtime telemetry cadence); it mounts /metrics,
-// /debug/vars and /debug/pprof/ next to the query API (including
-// /explain estimate-quality traces), and shuts down gracefully on
-// SIGINT/SIGTERM (in-flight requests drain, a final metrics snapshot is
-// logged).
+// an exact reference backend), -query-log/-query-log-max-bytes (JSON
+// wide-event log with optional size rotation), -health-interval
+// (runtime telemetry cadence), -slo-latency/-slo-objective/-slo-window
+// (multi-window burn-rate SLO gauges), -trace-log/-trace-sample
+// (sampled span-trace export) and -profile-p99 and friends
+// (anomaly-triggered CPU+heap profiling at /debug/profiles); it mounts
+// /metrics, /debug/vars, /debug/pprof/ and /healthz next to the query
+// API (including /explain estimate-quality traces), and shuts down
+// gracefully on SIGINT/SIGTERM (in-flight requests drain, a final
+// metrics snapshot is logged).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"semsim"
 )
@@ -65,8 +70,28 @@ func main() {
 			"serve: reference backend for shadow verification (exact|reduced|linear; empty picks by graph size)")
 		queryLog = fs.String("query-log", "",
 			"serve: append one JSON wide event per request to this file ('-' = stdout)")
+		queryLogMax = fs.Int64("query-log-max-bytes", 0,
+			"serve: rotate the query log when it would exceed this size, keeping one .1 generation (0 = no rotation)")
 		healthEvery = fs.Duration("health-interval", 0,
 			"serve: runtime health poll interval (0 = 10s default)")
+		sloLatency = fs.Duration("slo-latency", 0,
+			"serve: latency SLO threshold; requests slower than this burn the error budget (0 = SLO tracking off)")
+		sloObjective = fs.Float64("slo-objective", 0.99,
+			"serve: SLO objective as a good-request fraction in (0,1)")
+		sloWindow = fs.Duration("slo-window", 5*time.Minute,
+			"serve: short burn-rate window (the long window is 12x this)")
+		traceLog = fs.String("trace-log", "",
+			"serve: append sampled span traces as JSON lines to this file ('-' = stdout)")
+		traceSample = fs.Float64("trace-sample", 0.01,
+			"serve: fraction of requests to trace into -trace-log")
+		profileP99 = fs.Duration("profile-p99", 0,
+			"serve: capture a CPU+heap profile pair into /debug/profiles when the inter-poll query p99 exceeds this (0 = off)")
+		profileInterval = fs.Duration("profile-interval", 0,
+			"serve: anomaly profiler poll interval (0 = 10s default)")
+		profileCooldown = fs.Duration("profile-cooldown", 0,
+			"serve: minimum spacing between anomaly captures (0 = 5m default)")
+		profileRing = fs.Int("profile-ring", 0,
+			"serve: anomaly capture ring size (0 = 4 default)")
 	)
 	fs.Parse(os.Args[2:])
 	if *graphPath == "" {
@@ -177,10 +202,20 @@ func main() {
 			fatal("serve needs -debug-addr")
 		}
 		err := runServe(g, lin, serveConfig{
-			debugAddr:      *debugAddr,
-			warmup:         *warmup,
-			queryLogPath:   *queryLog,
-			healthInterval: *healthEvery,
+			debugAddr:        *debugAddr,
+			warmup:           *warmup,
+			queryLogPath:     *queryLog,
+			queryLogMaxBytes: *queryLogMax,
+			healthInterval:   *healthEvery,
+			sloLatency:       *sloLatency,
+			sloObjective:     *sloObjective,
+			sloWindow:        *sloWindow,
+			traceLogPath:     *traceLog,
+			traceSample:      *traceSample,
+			profileP99:       *profileP99,
+			profileInterval:  *profileInterval,
+			profileCooldown:  *profileCooldown,
+			profileRing:      *profileRing,
 			opts: semsim.IndexOptions{
 				NumWalks: *nw, WalkLength: *t, C: *c, Theta: *theta,
 				SLINGCutoff: *sling, Seed: *seed, Parallel: true,

@@ -12,23 +12,35 @@ package main
 //	/metrics               Prometheus text exposition
 //	/debug/vars            expvar (the registry publishes under "semsim")
 //	/debug/pprof/          net/http/pprof profiles
-//	/healthz               liveness probe
+//	/debug/profiles        ring of anomaly-triggered CPU+heap captures
+//	/healthz               readiness probe: 503 while building/warming, 200 after
 //
 // Errors are structured JSON ({"error": "..."}) with meaningful status
 // codes: 400 for malformed parameters, 404 for unknown nodes (including
 // engine bounds errors), 500 otherwise.
 //
-// Startup runs -warmup queries (default 4) so the latency histograms
-// and cache statistics are populated before the first scrape. The
-// server always builds the meet index and attaches the adaptive query
-// planner, so /metrics carries the semsim_plan_total{strategy="..."}
-// decision counters. The estimate-quality layer is on by default: the
-// shadow verifier re-scores 1 in -shadow-rate queries on an exact
-// reference backend (semsim_shadow_* series; 0 disables) and the
-// runtime health collector polls memory/GC/goroutine gauges every
-// -health-interval (semsim_runtime_* series). With -query-log PATH
-// ("-" for stdout) every request additionally emits one structured
-// JSON wide event with latency, scores, CI width and cache state.
+// The listener binds before the index build starts, answering 503 on
+// every route (including /healthz) until the index is built and the
+// -warmup queries have run; orchestrators and cmd/loadgen gate on the
+// /healthz flip. Every API request is assigned a request ID — taken
+// from an X-Semsim-Request header when the caller sent a well-formed
+// one, generated otherwise — echoed back in the same header and stamped
+// into the wide-event query log and the sampled trace log, so one ID
+// follows a request across process boundaries.
+//
+// The estimate-quality layer is on by default: the shadow verifier
+// re-scores 1 in -shadow-rate queries on an exact reference backend
+// (semsim_shadow_* series; 0 disables) and the runtime health collector
+// polls memory/GC/goroutine gauges every -health-interval
+// (semsim_runtime_* series). With -query-log PATH ("-" for stdout)
+// every request emits one structured JSON wide event
+// (-query-log-max-bytes adds size-based rotation to PATH.1). The
+// serving-SLO layer is opt-in: -slo-latency sets the latency objective
+// threshold and enables the multi-window burn-rate gauges
+// (semsim_slo_*); -trace-log/-trace-sample write exported span traces
+// as NDJSON for the sampled request subset; -profile-p99 arms the
+// anomaly profiler, which captures a CPU+heap pprof pair into
+// /debug/profiles when the inter-poll p99 crosses the threshold.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stops the listener, in-flight
 // requests get shutdownTimeout (default 5s) to drain via
@@ -37,6 +49,8 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -47,12 +61,18 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"semsim"
+	"semsim/internal/obs"
+	"semsim/internal/obs/profwatch"
 	"semsim/internal/obs/quality"
+	"semsim/internal/obs/slo"
+	"semsim/internal/walk"
 )
 
 // serveConfig carries everything the serve subcommand needs besides the
@@ -62,10 +82,33 @@ type serveConfig struct {
 	warmup    int
 	opts      semsim.IndexOptions
 	// queryLogPath, when non-empty, streams one JSON wide event per
-	// request to this file ("-" = stdout).
-	queryLogPath string
+	// request to this file ("-" = stdout). queryLogMaxBytes > 0 adds
+	// size-based rotation (one .1 generation kept).
+	queryLogPath     string
+	queryLogMaxBytes int64
 	// healthInterval is the runtime health poll cadence (0 = default).
 	healthInterval time.Duration
+	// sloLatency arms the serving SLO tracker: requests slower than
+	// this burn the latency error budget (0 = SLO tracking off).
+	// sloObjective is the required good-request fraction (default
+	// 0.99); sloWindow the short burn-rate window (default 5m, the long
+	// window is 12x).
+	sloLatency   time.Duration
+	sloObjective float64
+	sloWindow    time.Duration
+	// traceLogPath, when non-empty, writes exported span traces for a
+	// sampled fraction of requests ("-" = stdout) at traceSample
+	// (default 0.01).
+	traceLogPath string
+	traceSample  float64
+	// profileP99 arms the anomaly profiler: when the inter-poll p99 of
+	// semsim_query_seconds exceeds it, a CPU+heap profile pair is
+	// captured (0 = off). Interval/cooldown/ring default to
+	// 10s/5m/4 when zero.
+	profileP99      time.Duration
+	profileInterval time.Duration
+	profileCooldown time.Duration
+	profileRing     int
 	// stop, when non-nil, replaces the SIGINT/SIGTERM trap — closing it
 	// initiates the same graceful shutdown (used by tests).
 	stop <-chan struct{}
@@ -76,11 +119,13 @@ type serveConfig struct {
 	logw io.Writer
 }
 
-// runServe builds the instrumented index, warms it, and serves until
+// runServe binds the listener (503 warming handler), builds the
+// instrumented index, warms it, swaps in the real mux and serves until
 // the listener fails or a shutdown signal arrives; on a signal it
 // drains in-flight requests, logs a final metrics snapshot and returns
 // nil. When ready is non-nil the bound address is sent on it once the
-// listener is up (used by the CI smoke test to serve on 127.0.0.1:0).
+// server is warmed and answering (used by the CI smoke test to serve on
+// 127.0.0.1:0).
 func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<- string) error {
 	logw := cfg.logw
 	if logw == nil {
@@ -93,23 +138,86 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	cfg.opts.MeetIndex = true
 	cfg.opts.AutoPlan = true
 
-	idx, err := semsim.BuildIndex(g, sem, cfg.opts)
+	// Bind before the potentially long index build: orchestrators can
+	// probe /healthz immediately and get an honest 503 instead of a
+	// connection refused they cannot distinguish from a dead process.
+	l, err := net.Listen("tcp", cfg.debugAddr)
 	if err != nil {
 		return err
+	}
+	var handler atomic.Pointer[http.ServeMux]
+	handler.Store(warmingMux())
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().ServeHTTP(w, r)
+	})}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	fail := func(err error) error {
+		srv.Close()
+		return err
+	}
+
+	idx, err := semsim.BuildIndex(g, sem, cfg.opts)
+	if err != nil {
+		return fail(err)
 	}
 	defer idx.Close()
 
 	var qlog *quality.QueryLog
 	if cfg.queryLogPath != "" {
-		w, closeLog, err := openQueryLog(cfg.queryLogPath)
+		w, closeLog, err := openLogSink(cfg.queryLogPath, cfg.queryLogMaxBytes)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		defer closeLog()
 		qlog = quality.NewQueryLog(w, reg)
 	}
 	health := quality.StartHealth(reg, cfg.healthInterval)
 	defer health.Stop()
+
+	var tracker *slo.Tracker
+	if cfg.sloLatency > 0 {
+		objective := cfg.sloObjective
+		if objective <= 0 || objective >= 1 {
+			objective = 0.99
+		}
+		window := cfg.sloWindow
+		if window <= 0 {
+			window = 5 * time.Minute
+		}
+		tracker = slo.New(slo.Config{
+			Objective:        objective,
+			LatencyThreshold: cfg.sloLatency,
+			Windows:          []time.Duration{window, 12 * window},
+		}, reg)
+	}
+
+	var tlog *obs.TraceLog
+	var sampler *obs.Sampler
+	if cfg.traceLogPath != "" {
+		w, closeTrace, err := openLogSink(cfg.traceLogPath, 0)
+		if err != nil {
+			return fail(err)
+		}
+		defer closeTrace()
+		tlog = obs.NewTraceLog(w, reg)
+		rate := cfg.traceSample
+		if rate <= 0 {
+			rate = 0.01
+		}
+		sampler = obs.NewSampler(rate, cfg.opts.Seed)
+	}
+
+	watcher := profwatch.Start(profwatch.Config{
+		Hist:      reg.Histogram("semsim_query_seconds", "", nil),
+		Threshold: cfg.profileP99,
+		Interval:  cfg.profileInterval,
+		Cooldown:  cfg.profileCooldown,
+		RingSize:  cfg.profileRing,
+	}, reg)
+	defer watcher.Stop()
+
+	registerBuildInfo(reg, idx)
 
 	// Warm-up traffic: populates the query histogram, the pruning
 	// counters and the SLING cache so the first scrape is non-empty.
@@ -125,12 +233,9 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	fmt.Fprint(logw, tr.String())
 
 	reg.PublishExpvar("semsim")
-	mux := newServeMux(g, sem, idx, reg, qlog)
+	so := newServeObs(reg, qlog, tlog, sampler, tracker, watcher)
+	handler.Store(newServeMux(g, sem, idx, so))
 
-	l, err := net.Listen("tcp", cfg.debugAddr)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(logw, "semsim: serving on http://%s (backend %s, metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n",
 		l.Addr(), idx.Backend())
 	if ready != nil {
@@ -146,10 +251,6 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 		defer cancel()
 		stop = ctx.Done()
 	}
-	srv := &http.Server{Handler: mux}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(l) }()
-
 	select {
 	case err := <-errc:
 		return err
@@ -168,17 +269,58 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	return shutdownErr
 }
 
-// openQueryLog resolves the -query-log destination: "-" streams to
-// stdout, anything else appends to the named file.
-func openQueryLog(path string) (io.Writer, func(), error) {
+// warmingMux is the pre-readiness handler: every route answers 503 so
+// probes, scrapes and eager clients all learn the same thing — the
+// process is alive but the index is not ready to serve.
+func warmingMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "warming"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONError(w, http.StatusServiceUnavailable, "index building, not ready")
+	})
+	return mux
+}
+
+// openLogSink resolves an NDJSON log destination: "-" streams to
+// stdout, anything else appends to the named file — through a
+// size-rotating writer when maxBytes > 0.
+func openLogSink(path string, maxBytes int64) (io.Writer, func(), error) {
 	if path == "-" {
 		return os.Stdout, func() {}, nil
 	}
+	if maxBytes > 0 {
+		rf, err := quality.OpenRotatingFile(path, maxBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("semsim: open log sink: %w", err)
+		}
+		return rf, func() { rf.Close() }, nil
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("semsim: open query log: %w", err)
+		return nil, nil, fmt.Errorf("semsim: open log sink: %w", err)
 	}
 	return f, func() { f.Close() }, nil
+}
+
+// registerBuildInfo exports the constant-1 semsim_build_info gauge whose
+// labels identify this process's serving configuration, so scrape-side
+// dashboards can correlate latency shifts with config changes.
+func registerBuildInfo(reg *semsim.Metrics, idx *semsim.Index) {
+	kernel := idx.KernelMode()
+	if kernel == "" {
+		kernel = "none"
+	}
+	reg.GaugeFunc(obs.SeriesName("semsim_build_info",
+		"backend", idx.Backend(),
+		"kernel", kernel,
+		"walk_format", strconv.Itoa(walk.FormatVersion),
+		"go", runtime.Version()),
+		"Serving configuration identity (constant 1; the labels carry the information).",
+		func() float64 { return 1 })
 }
 
 // logFinalSnapshot writes a one-line summary plus the full structured
@@ -214,19 +356,142 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// newServeMux mounts the query API and the three debug surfaces.
-func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *semsim.Metrics, qlog *quality.QueryLog) *http.ServeMux {
-	mux := http.NewServeMux()
+// requestIDHeader carries the request ID in both directions: a caller
+// may supply one (gateway-assigned, or the parent's in a future sharded
+// scatter-gather) and serve always echoes the effective ID back.
+const requestIDHeader = "X-Semsim-Request"
 
-	node := func(w http.ResponseWriter, r *http.Request, param string) (semsim.NodeID, bool) {
+// serveObs bundles the per-request observability sinks the API handlers
+// share. Every field except reg may be nil (the corresponding feature
+// is off); the wrap path is nil-safe throughout, per the obs
+// convention.
+type serveObs struct {
+	reg      *semsim.Metrics
+	qlog     *quality.QueryLog
+	tracelog *obs.TraceLog
+	sampler  *obs.Sampler
+	slo      *slo.Tracker
+	watcher  *profwatch.Watcher
+
+	httpHist *obs.Histogram
+	reqTotal map[string]*obs.Counter
+
+	idBase string
+	idSeq  atomic.Uint64
+}
+
+// newServeObs registers the HTTP-layer series and draws the random
+// request-ID prefix that makes IDs from different processes distinct.
+func newServeObs(reg *semsim.Metrics, qlog *quality.QueryLog, tlog *obs.TraceLog,
+	sampler *obs.Sampler, tracker *slo.Tracker, watcher *profwatch.Watcher) *serveObs {
+	so := &serveObs{
+		reg: reg, qlog: qlog, tracelog: tlog, sampler: sampler,
+		slo: tracker, watcher: watcher,
+		httpHist: reg.Histogram("semsim_http_request_seconds",
+			"End-to-end HTTP latency of the query API endpoints.", nil),
+		reqTotal: map[string]*obs.Counter{},
+	}
+	for _, ep := range []string{"/query", "/explain", "/topk"} {
+		so.reqTotal[ep] = reg.Counter(
+			obs.SeriesName("semsim_http_requests_total", "endpoint", ep),
+			"HTTP requests served, by API endpoint.")
+	}
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		so.idBase = hex.EncodeToString(b[:])
+	} else {
+		so.idBase = "semsim"
+	}
+	return so
+}
+
+// reqInfo is the per-request context the wrap layer threads through a
+// handler: the effective request ID, the sampled trace (nil when this
+// request is not sampled) and the response status for SLO error
+// classification.
+type reqInfo struct {
+	id     string
+	trace  *semsim.Trace
+	status int
+}
+
+// fail records the status and writes the shared JSON error shape.
+func (ri *reqInfo) fail(w http.ResponseWriter, status int, msg string) {
+	ri.status = status
+	writeJSONError(w, status, msg)
+}
+
+// requestID returns the caller-supplied ID when it is well-formed, or
+// mints process-prefix-NNNNNN.
+func (so *serveObs) requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get(requestIDHeader)); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", so.idBase, so.idSeq.Add(1))
+}
+
+// sanitizeRequestID accepts IDs of 1..64 chars drawn from
+// [A-Za-z0-9._-]; anything else returns "" (a fresh ID is minted).
+// Restricting the alphabet keeps IDs safe to echo into headers, NDJSON
+// logs and shell pipelines without escaping.
+func sanitizeRequestID(s string) string {
+	if s == "" || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// wrap is the request-instrumentation middleware for the API endpoints:
+// assigns and echoes the request ID, samples a trace, measures
+// end-to-end latency into the HTTP histogram and the SLO tracker, and
+// exports the sampled trace once the handler returns. The disabled
+// state costs a few nil checks per request.
+func (so *serveObs) wrap(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	ctr := so.reqTotal[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		ri := &reqInfo{id: so.requestID(r), status: http.StatusOK}
+		w.Header().Set(requestIDHeader, ri.id)
+		if so.sampler.Sample() {
+			ri.trace = semsim.NewTrace(endpoint)
+		}
+		h(w, r, ri)
+		lat := time.Since(t0)
+		ctr.Inc()
+		so.httpHist.ObserveDuration(lat)
+		so.slo.Observe(lat, ri.status >= 500)
+		if ri.trace != nil {
+			rec := ri.trace.Export()
+			rec.Time = time.Now()
+			rec.RequestID = ri.id
+			so.tracelog.Log(rec)
+		}
+	}
+}
+
+// newServeMux mounts the query API and the debug surfaces.
+func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *serveObs) *http.ServeMux {
+	mux := http.NewServeMux()
+	reg, qlog := so.reg, so.qlog
+
+	node := func(w http.ResponseWriter, r *http.Request, param string, ri *reqInfo) (semsim.NodeID, bool) {
 		name := r.URL.Query().Get(param)
 		if name == "" {
-			writeJSONError(w, http.StatusBadRequest, "missing ?"+param+"=NODE")
+			ri.fail(w, http.StatusBadRequest, "missing ?"+param+"=NODE")
 			return 0, false
 		}
 		id, ok := g.NodeByName(name)
 		if !ok {
-			writeJSONError(w, http.StatusNotFound, "unknown node "+name)
+			ri.fail(w, http.StatusNotFound, "unknown node "+name)
 			return 0, false
 		}
 		return id, true
@@ -238,63 +503,81 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 		enc.Encode(v)
 	}
 
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/query", so.wrap("/query", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
-		u, ok := node(w, r, "u")
+		sp := ri.trace.Start("resolve")
+		u, ok := node(w, r, "u", ri)
 		if !ok {
 			return
 		}
-		v, ok := node(w, r, "v")
+		v, ok := node(w, r, "v", ri)
+		sp.End()
 		if !ok {
 			return
 		}
+		sp = ri.trace.Start("score")
 		score := idx.Query(u, v)
+		semScore := sem.Sim(u, v)
+		simrank := idx.SimRankQuery(u, v)
+		sp.End()
+		sp = ri.trace.Start("encode")
 		writeJSON(w, map[string]any{
 			"u":       g.NodeName(u),
 			"v":       g.NodeName(v),
-			"sem":     sem.Sim(u, v),
+			"sem":     semScore,
 			"semsim":  score,
-			"simrank": idx.SimRankQuery(u, v),
+			"simrank": simrank,
 		})
+		sp.End()
 		qlog.Log(quality.QueryEvent{
-			Endpoint: "/query", U: g.NodeName(u), V: g.NodeName(v),
+			RequestID: ri.id,
+			Endpoint:  "/query", U: g.NodeName(u), V: g.NodeName(v),
 			Status: http.StatusOK, Score: score,
 			LatencySeconds: time.Since(t0).Seconds(),
 			Backend:        idx.Backend(),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
 		})
-	})
+	}))
 
-	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/explain", so.wrap("/explain", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
-		u, ok := node(w, r, "u")
+		sp := ri.trace.Start("resolve")
+		u, ok := node(w, r, "u", ri)
 		if !ok {
 			return
 		}
-		v, ok := node(w, r, "v")
+		v, ok := node(w, r, "v", ri)
+		sp.End()
 		if !ok {
 			return
 		}
+		sp = ri.trace.Start("explain")
 		ex, err := idx.ExplainQuery(u, v)
+		sp.End()
 		if err != nil {
-			writeJSONError(w, errorStatus(err), err.Error())
+			ri.fail(w, errorStatus(err), err.Error())
 			return
 		}
 		ex.UName, ex.VName = g.NodeName(u), g.NodeName(v)
+		sp = ri.trace.Start("encode")
 		writeJSON(w, ex)
+		sp.End()
 		qlog.Log(quality.QueryEvent{
-			Endpoint: "/explain", U: ex.UName, V: ex.VName,
+			RequestID: ri.id,
+			Endpoint:  "/explain", U: ex.UName, V: ex.VName,
 			Status: http.StatusOK, Score: ex.Score,
 			LatencySeconds: time.Since(t0).Seconds(),
 			Backend:        ex.Backend,
 			CIWidth:        ex.CIWidth(),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
 		})
-	})
+	}))
 
-	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/topk", so.wrap("/topk", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
-		u, ok := node(w, r, "u")
+		sp := ri.trace.Start("resolve")
+		u, ok := node(w, r, "u", ri)
+		sp.End()
 		if !ok {
 			return
 		}
@@ -302,7 +585,7 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 		if s := r.URL.Query().Get("k"); s != "" {
 			var err error
 			if k, err = strconv.Atoi(s); err != nil || k < 1 {
-				writeJSONError(w, http.StatusBadRequest, "bad ?k: want a positive integer")
+				ri.fail(w, http.StatusBadRequest, "bad ?k: want a positive integer")
 				return
 			}
 		}
@@ -310,20 +593,26 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 			Node  string  `json:"node"`
 			Score float64 `json:"score"`
 		}
+		sp = ri.trace.Start("topk")
+		results := idx.TopK(u, k)
+		sp.End()
 		hits := []hit{}
-		for _, s := range idx.TopK(u, k) {
+		for _, s := range results {
 			hits = append(hits, hit{g.NodeName(s.Node), s.Score})
 		}
+		sp = ri.trace.Start("encode")
 		writeJSON(w, map[string]any{"u": g.NodeName(u), "k": k, "results": hits})
+		sp.End()
 		qlog.Log(quality.QueryEvent{
-			Endpoint: "/topk", U: g.NodeName(u), K: k,
+			RequestID: ri.id,
+			Endpoint:  "/topk", U: g.NodeName(u), K: k,
 			Status: http.StatusOK, Results: len(hits),
 			LatencySeconds: time.Since(t0).Seconds(),
 			Backend:        idx.Backend(),
 			Strategy:       idx.PlanStrategy(k),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
 		})
-	})
+	}))
 
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, idx.Snapshot())
@@ -345,6 +634,13 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, reg *se
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	// The anomaly-capture ring; a nil watcher serves an empty index.
+	profiles := so.watcher.Handler("/debug/profiles")
+	mux.Handle("/debug/profiles", profiles)
+	mux.Handle("/debug/profiles/", profiles)
+
+	// Readiness: this mux only ever serves after build+warmup, so a 200
+	// here means the index answers queries.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

@@ -1,0 +1,392 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRecorderExactBelowLinearRange(t *testing.T) {
+	r := NewRecorder()
+	for v := time.Duration(0); v < 64; v++ {
+		r.Record(v)
+	}
+	if r.Count() != 64 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Max() != 63 {
+		t.Fatalf("max = %v", r.Max())
+	}
+	if got := r.Quantile(0.5); got != 31 {
+		t.Fatalf("p50 = %v, want 31ns exactly", got)
+	}
+}
+
+func TestRecorderRelativeError(t *testing.T) {
+	r := NewRecorder()
+	// A uniform spread of values around 2µs..10ms.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(2000 + rng.Intn(10_000_000))
+		values = append(values, v)
+		r.Record(time.Duration(v))
+	}
+	// Compare recorder quantiles to exact order statistics.
+	exact := append([]int64(nil), values...)
+	sortInt64s(exact)
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		rank := int(q * float64(len(exact)))
+		if rank >= len(exact) {
+			rank = len(exact) - 1
+		}
+		want := float64(exact[rank])
+		got := float64(r.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("q%.3f: got %.0fns want %.0fns (rel err %.3f > 2%%)", q, got, want, rel)
+		}
+	}
+	if got, want := r.Quantile(1), time.Duration(exact[len(exact)-1]); got != want {
+		t.Errorf("p100 = %v, want exact max %v", got, want)
+	}
+}
+
+func sortInt64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestBucketMapping(t *testing.T) {
+	// Every bucket's representative must map back into that bucket, and
+	// indexes must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 127, 128, 129, 1000, 4095, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+		if hi := bucketMax(i); hi < v {
+			t.Fatalf("bucketMax(%d) = %d < member value %d", i, hi, v)
+		}
+		if i >= bucketCount {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("query=70,topk=20,explain=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Endpoints(); len(got) != 3 {
+		t.Fatalf("endpoints = %v", got)
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		counts[m.Pick(rng)]++
+	}
+	if counts["query"] < 6500 || counts["query"] > 7500 {
+		t.Errorf("query picked %d/10000 at weight 70", counts["query"])
+	}
+	if counts["explain"] < 700 || counts["explain"] > 1300 {
+		t.Errorf("explain picked %d/10000 at weight 10", counts["explain"])
+	}
+
+	for _, bad := range []string{"", "query", "query=0", "query=-1", "query=x", "nope=10"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// Leading slashes and spaces are tolerated.
+	if _, err := ParseMix("/query=1, topk=2"); err != nil {
+		t.Errorf("lenient forms rejected: %v", err)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	mix, _ := ParseMix("query=50,topk=30,explain=20")
+	w := &Workload{Nodes: []string{"a", "b", "c d"}, Mix: mix, K: 7}
+	gen := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]string, 50)
+		for i := range out {
+			ep, pq := w.Next(rng)
+			out[i] = ep + " " + pq
+		}
+		return out
+	}
+	a, b := gen(42), gen(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs under same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := gen(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	// Node names with spaces must be URL-escaped.
+	found := false
+	for _, s := range a {
+		if strings.Contains(s, "c+d") {
+			found = true
+		}
+		if strings.Contains(s, "c d") {
+			t.Fatalf("unescaped node name in %q", s)
+		}
+	}
+	if !found {
+		t.Fatal("node 'c d' never drawn in 50 requests")
+	}
+}
+
+// testServer is a minimal stand-in for semsim serve: /healthz flips
+// ready after readyAfter, API endpoints count hits and can inject
+// status codes or latency.
+type testServer struct {
+	ready    atomic.Bool
+	hits     atomic.Int64
+	earlyAPI atomic.Int64 // API hits before ready
+	srv      *httptest.Server
+}
+
+func newTestServer(delay time.Duration, status func(path string) int) *testServer {
+	ts := &testServer{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !ts.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	api := func(w http.ResponseWriter, r *http.Request) {
+		if !ts.ready.Load() {
+			ts.earlyAPI.Add(1)
+		}
+		ts.hits.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		code := http.StatusOK
+		if status != nil {
+			code = status(r.URL.Path)
+		}
+		w.WriteHeader(code)
+		w.Write([]byte(`{}`))
+	}
+	mux.HandleFunc("/query", api)
+	mux.HandleFunc("/topk", api)
+	mux.HandleFunc("/explain", api)
+	ts.srv = httptest.NewServer(mux)
+	return ts
+}
+
+func testOptions(ts *testServer) Options {
+	mix, _ := ParseMix("query=70,topk=20,explain=10")
+	return Options{
+		BaseURL:      ts.srv.URL,
+		Workload:     &Workload{Nodes: []string{"a", "b", "c"}, Mix: mix, K: 5},
+		Concurrency:  4,
+		Duration:     300 * time.Millisecond,
+		Warmup:       100 * time.Millisecond,
+		Seed:         1,
+		ReadyTimeout: 5 * time.Second,
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	ts := newTestServer(0, nil)
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+
+	r, err := NewRunner(testOptions(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	if rep.Requests == 0 || rep.ThroughputQPS <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.Status2xx != rep.Requests || rep.Status5xx != 0 || rep.Errors != 0 {
+		t.Fatalf("status accounting off: %+v", rep)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("bad latency stats: %+v", rep.Latency)
+	}
+	var epTotal int64
+	for _, ep := range rep.Endpoints {
+		epTotal += ep.Requests
+	}
+	if epTotal != rep.Requests {
+		t.Fatalf("per-endpoint sum %d != total %d", epTotal, rep.Requests)
+	}
+	// The warmup traffic hit the server but must not be in the report.
+	if ts.hits.Load() <= rep.Requests {
+		t.Fatalf("server saw %d hits, report %d — warmup traffic appears unmeasured-but-missing", ts.hits.Load(), rep.Requests)
+	}
+}
+
+func TestHealthzGatesWarmup(t *testing.T) {
+	ts := newTestServer(0, nil)
+	defer ts.srv.Close()
+	// Flip ready after 300ms; the runner must not touch API endpoints
+	// before that.
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ts.ready.Store(true)
+	}()
+	r, err := NewRunner(testOptions(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.earlyAPI.Load(); got != 0 {
+		t.Fatalf("%d API requests before /healthz turned ready", got)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no measured requests after readiness")
+	}
+}
+
+func TestReadyTimeout(t *testing.T) {
+	ts := newTestServer(0, nil) // never ready
+	defer ts.srv.Close()
+	opts := testOptions(ts)
+	opts.ReadyTimeout = 300 * time.Millisecond
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Fatal("Run succeeded against a never-ready server")
+	}
+}
+
+func TestStatusClassification(t *testing.T) {
+	ts := newTestServer(0, func(path string) int {
+		switch path {
+		case "/topk":
+			return http.StatusBadRequest
+		case "/explain":
+			return http.StatusInternalServerError
+		default:
+			return http.StatusOK
+		}
+	})
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+	r, err := NewRunner(testOptions(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status4xx == 0 || rep.Status5xx == 0 || rep.Status2xx == 0 {
+		t.Fatalf("status classes not all hit: %+v", rep)
+	}
+	if rep.Status2xx+rep.Status4xx+rep.Status5xx != rep.Requests {
+		t.Fatalf("class sum != requests: %+v", rep)
+	}
+}
+
+func TestOpenLoopPacing(t *testing.T) {
+	ts := newTestServer(0, nil)
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+	opts := testOptions(ts)
+	opts.OpenLoop = true
+	opts.TargetQPS = 300
+	opts.Duration = 500 * time.Millisecond
+	opts.Warmup = 0
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.TargetQPS != 300 {
+		t.Fatalf("open-loop report: %+v", rep)
+	}
+	// ~150 expected arrivals; accept a broad band for CI scheduling
+	// noise but reject closed-loop-style unbounded throughput.
+	if rep.Requests < 50 || rep.Requests > 300 {
+		t.Fatalf("open loop issued %d requests at 300qps over 500ms", rep.Requests)
+	}
+}
+
+func TestOpenLoopCountsQueueing(t *testing.T) {
+	// 20ms server latency, 2 workers, 300 qps: capacity is ~100 qps, so
+	// arrivals queue and measured-from-schedule p50 must far exceed the
+	// 20ms service time; overflow arrivals are dropped, not blocking.
+	ts := newTestServer(20*time.Millisecond, nil)
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+	opts := testOptions(ts)
+	opts.OpenLoop = true
+	opts.TargetQPS = 300
+	opts.Concurrency = 2
+	opts.Duration = 600 * time.Millisecond
+	opts.Warmup = 0
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.P95 < 0.030 {
+		t.Fatalf("p95 %.3fs does not reflect queueing delay (service time 0.020s)", rep.Latency.P95)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("overloaded open loop reported no dropped arrivals")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	mix, _ := ParseMix("query=1")
+	w := &Workload{Nodes: []string{"a"}, Mix: mix}
+	cases := []Options{
+		{},
+		{BaseURL: "http://x"},
+		{BaseURL: "http://x", Workload: &Workload{Mix: mix}},
+		{BaseURL: "http://x", Workload: w, OpenLoop: true},
+	}
+	for i, opts := range cases {
+		if _, err := NewRunner(opts); err == nil {
+			t.Errorf("case %d: NewRunner accepted %+v", i, opts)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package loadgen is the serving load-generation harness: a seeded
+// workload over an index's node space, open- and closed-loop runners
+// driving the semsim serve HTTP API, and a high-resolution latency
+// recorder producing the p50/p95/p99/p999 report the CI smoke tier and
+// capacity planning read. Everything is stdlib-only and deterministic
+// under a fixed seed, so two runs against the same server issue the
+// same request sequence.
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is a lock-free log-linear latency histogram in the HDR
+// style: nanosecond values below 64ns are counted exactly; above that
+// each power-of-two octave is split into 64 sub-buckets, bounding the
+// relative quantile error at ~1.6% across the full int64 nanosecond
+// range (microseconds to hours) with a fixed ~30KB footprint. Recording
+// is two atomic adds plus a CAS-free max update loop — cheap enough to
+// sit on the loadgen hot path without distorting what it measures.
+type Recorder struct {
+	counts [bucketCount]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// subBits fixes 2^subBits sub-buckets per octave; 6 gives 64, i.e.
+// ~1/64 ≈ 1.6% worst-case relative error.
+const subBits = 6
+
+// bucketCount covers every possible int64 nanosecond value: index
+// 64*e + v>>e with e up to 63-subBits-1.
+const bucketCount = 64 * (64 - subBits)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// bucketIndex maps a nanosecond value to its bucket. The mapping
+// 64*e + v>>e (e = number of leading octaves past the linear range) is
+// continuous: [0,64) map linearly, [64,128) land at indexes [64,128),
+// [128,256) at [128,192), and so on.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - subBits - 1
+	return e<<subBits + int(v>>uint(e))
+}
+
+// bucketMax returns the largest nanosecond value mapping to bucket i —
+// the conservative (upper-edge) representative used for quantiles.
+func bucketMax(i int) int64 {
+	if i < 2<<subBits {
+		return int64(i)
+	}
+	e := i>>subBits - 1
+	return (int64(i-e<<subBits)+1)<<uint(e) - 1
+}
+
+// Record counts one latency observation. Negative durations (clock
+// steps) clamp to 0.
+func (r *Recorder) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	r.counts[bucketIndex(v)].Add(1)
+	r.count.Add(1)
+	r.sum.Add(v)
+	for {
+		old := r.max.Load()
+		if v <= old || r.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (r *Recorder) Count() int64 { return r.count.Load() }
+
+// Max returns the exact largest recorded latency.
+func (r *Recorder) Max() time.Duration { return time.Duration(r.max.Load()) }
+
+// Mean returns the exact arithmetic mean.
+func (r *Recorder) Mean() time.Duration {
+	n := r.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(r.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the upper edge of the
+// containing bucket, clamped to the exact recorded max so p999/p100
+// never overshoot reality. 0 when empty.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	n := r.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < bucketCount; i++ {
+		c := r.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := bucketMax(i)
+			if m := r.max.Load(); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+	}
+	return r.Max()
+}
+
+// LatencyStats is the JSON-ready percentile summary of a Recorder, all
+// values in seconds (matching the obs histogram unit convention).
+type LatencyStats struct {
+	P50  float64 `json:"p50_seconds"`
+	P95  float64 `json:"p95_seconds"`
+	P99  float64 `json:"p99_seconds"`
+	P999 float64 `json:"p999_seconds"`
+	Max  float64 `json:"max_seconds"`
+	Mean float64 `json:"mean_seconds"`
+}
+
+// Stats summarizes the recorder.
+func (r *Recorder) Stats() LatencyStats {
+	return LatencyStats{
+		P50:  r.Quantile(0.50).Seconds(),
+		P95:  r.Quantile(0.95).Seconds(),
+		P99:  r.Quantile(0.99).Seconds(),
+		P999: r.Quantile(0.999).Seconds(),
+		Max:  r.Max().Seconds(),
+		Mean: r.Mean().Seconds(),
+	}
+}

@@ -1,0 +1,356 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the serve root, e.g. http://127.0.0.1:6060.
+	BaseURL string
+
+	// Workload supplies the request sequence.
+	Workload *Workload
+
+	// OpenLoop selects the arrival model. Closed loop (default): each
+	// of Concurrency workers issues its next request as soon as the
+	// previous one returns — measures capacity, hides queueing. Open
+	// loop: requests are scheduled at TargetQPS regardless of
+	// completions and latency is measured from the scheduled arrival
+	// time, so server-side queueing (coordinated omission) shows up in
+	// the percentiles instead of being silently absorbed.
+	OpenLoop  bool
+	TargetQPS float64 // required in open-loop mode
+
+	// Concurrency is the worker count (both modes). Default 8.
+	Concurrency int
+
+	// Duration is the measured phase length. Default 10s.
+	Duration time.Duration
+
+	// Warmup runs the same traffic for this long first, discarding all
+	// measurements — JIT-ish effects, connection setup and server-side
+	// cache fill land here, not in the report. 0 skips.
+	Warmup time.Duration
+
+	// Seed makes the workload deterministic: worker i draws from a
+	// rand.Rand seeded Seed+i.
+	Seed int64
+
+	// Timeout bounds one request. Default 10s.
+	Timeout time.Duration
+
+	// ReadyTimeout bounds the initial /healthz readiness wait.
+	// Default 60s.
+	ReadyTimeout time.Duration
+}
+
+// EndpointStats is the per-endpoint slice of the report.
+type EndpointStats struct {
+	Requests int64        `json:"requests"`
+	Latency  LatencyStats `json:"latency"`
+}
+
+// Report is the JSON result of a run.
+type Report struct {
+	Mode          string  `json:"mode"` // "closed" or "open"
+	TargetQPS     float64 `json:"target_qps,omitempty"`
+	Concurrency   int     `json:"concurrency"`
+	Seed          int64   `json:"seed"`
+	DurationSecs  float64 `json:"duration_seconds"`
+	Requests      int64   `json:"requests"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+
+	// Status2xx/4xx/5xx partition completed requests by status class;
+	// Errors are transport failures (no HTTP status at all); Dropped
+	// counts open-loop arrivals discarded because every worker was busy
+	// and the queue was full — nonzero means the server cannot keep up
+	// with TargetQPS.
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	Errors    int64 `json:"transport_errors"`
+	Dropped   int64 `json:"dropped"`
+
+	Latency   LatencyStats              `json:"latency"`
+	Endpoints map[string]*EndpointStats `json:"endpoints"`
+}
+
+// Runner executes the configured load against a live server.
+type Runner struct {
+	opts   Options
+	client *http.Client
+
+	rec       *Recorder
+	perEp     map[string]*Recorder
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	errors    atomic.Int64
+	dropped   atomic.Int64
+	measuring atomic.Bool
+}
+
+// NewRunner validates opts and prepares a runner.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: missing base URL")
+	}
+	if opts.Workload == nil || len(opts.Workload.Nodes) == 0 {
+		return nil, fmt.Errorf("loadgen: workload has no nodes to draw from")
+	}
+	if opts.OpenLoop && opts.TargetQPS <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop mode needs a positive target QPS")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.ReadyTimeout <= 0 {
+		opts.ReadyTimeout = 60 * time.Second
+	}
+	perEp := map[string]*Recorder{}
+	for _, ep := range opts.Workload.Mix.Endpoints() {
+		perEp[ep] = NewRecorder()
+	}
+	return &Runner{
+		opts: opts,
+		client: &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Concurrency * 2,
+				MaxIdleConnsPerHost: opts.Concurrency * 2,
+			},
+		},
+		rec:   NewRecorder(),
+		perEp: perEp,
+	}, nil
+}
+
+// WaitReady polls /healthz until it returns 200, gating the warmup
+// phase on server readiness (the index may still be building).
+func (r *Runner) WaitReady(ctx context.Context) error {
+	deadline := time.Now().Add(r.opts.ReadyTimeout)
+	url := r.opts.BaseURL + "/healthz"
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := r.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: server never became ready: %w", err)
+			}
+			return fmt.Errorf("loadgen: server never became ready (last /healthz status %d)", resp.StatusCode)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// do issues one request and records it (when the measuring phase is
+// active). lat overrides the measured latency origin in open-loop mode
+// (scheduled arrival time); zero means "measure from send".
+func (r *Runner) do(ctx context.Context, endpoint, pathQuery string, scheduled time.Time) {
+	t0 := scheduled
+	if t0.IsZero() {
+		t0 = time.Now()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+pathQuery, nil)
+	if err != nil {
+		r.errors.Add(1)
+		return
+	}
+	resp, err := r.client.Do(req)
+	lat := time.Since(t0)
+	if !r.measuring.Load() {
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown race, not a server fault
+		}
+		r.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 500:
+		r.status5xx.Add(1)
+	case resp.StatusCode >= 400:
+		r.status4xx.Add(1)
+	default:
+		r.status2xx.Add(1)
+	}
+	r.rec.Record(lat)
+	if rec := r.perEp[endpoint]; rec != nil {
+		rec.Record(lat)
+	}
+}
+
+// Run executes warmup then the measured phase and returns the report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if err := r.WaitReady(ctx); err != nil {
+		return nil, err
+	}
+	if r.opts.Warmup > 0 {
+		r.measuring.Store(false)
+		r.runPhase(ctx, r.opts.Warmup)
+	}
+	r.measuring.Store(true)
+	elapsed := r.runPhase(ctx, r.opts.Duration)
+	if err := ctx.Err(); err != nil && elapsed < r.opts.Duration/2 {
+		return nil, err
+	}
+
+	rep := &Report{
+		Mode:         "closed",
+		Concurrency:  r.opts.Concurrency,
+		Seed:         r.opts.Seed,
+		DurationSecs: elapsed.Seconds(),
+		Requests:     r.rec.Count(),
+		Status2xx:    r.status2xx.Load(),
+		Status4xx:    r.status4xx.Load(),
+		Status5xx:    r.status5xx.Load(),
+		Errors:       r.errors.Load(),
+		Dropped:      r.dropped.Load(),
+		Latency:      r.rec.Stats(),
+		Endpoints:    map[string]*EndpointStats{},
+	}
+	if r.opts.OpenLoop {
+		rep.Mode = "open"
+		rep.TargetQPS = r.opts.TargetQPS
+	}
+	if elapsed > 0 {
+		rep.ThroughputQPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	eps := r.opts.Workload.Mix.Endpoints()
+	sort.Strings(eps)
+	for _, ep := range eps {
+		rec := r.perEp[ep]
+		rep.Endpoints[ep] = &EndpointStats{Requests: rec.Count(), Latency: rec.Stats()}
+	}
+	return rep, nil
+}
+
+// runPhase drives traffic for d and returns the actual elapsed time.
+func (r *Runner) runPhase(ctx context.Context, d time.Duration) time.Duration {
+	phaseCtx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	t0 := time.Now()
+	if r.opts.OpenLoop {
+		r.runOpen(phaseCtx)
+	} else {
+		r.runClosed(phaseCtx)
+	}
+	return time.Since(t0)
+}
+
+// runClosed: each worker issues back-to-back requests until the phase
+// ends. Worker i's RNG is seeded Seed+i, so the request sequence is
+// reproducible run to run.
+func (r *Runner) runClosed(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < r.opts.Concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.opts.Seed + int64(worker)))
+			for ctx.Err() == nil {
+				ep, pq := r.opts.Workload.Next(rng)
+				r.do(ctx, ep, pq, time.Time{})
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// arrival is one scheduled open-loop request.
+type arrival struct {
+	endpoint  string
+	pathQuery string
+	at        time.Time
+}
+
+// runOpen: a pacer goroutine schedules arrivals at TargetQPS into a
+// bounded queue; workers drain it. Latency is measured from the
+// *scheduled* time, so time spent waiting for a free worker counts —
+// the standard defense against coordinated omission. A full queue
+// increments Dropped instead of blocking the pacer (blocking would turn
+// the open loop back into a closed one).
+func (r *Runner) runOpen(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / r.opts.TargetQPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	queue := make(chan arrival, r.opts.Concurrency*4)
+
+	var wg sync.WaitGroup
+	for i := 0; i < r.opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range queue {
+				r.do(ctx, a.endpoint, a.pathQuery, a.at)
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+	next := time.Now()
+	for ctx.Err() == nil {
+		now := time.Now()
+		if now.Before(next) {
+			select {
+			case <-ctx.Done():
+			case <-time.After(next.Sub(now)):
+			}
+			continue
+		}
+		ep, pq := r.opts.Workload.Next(rng)
+		select {
+		case queue <- arrival{endpoint: ep, pathQuery: pq, at: next}:
+		default:
+			if r.measuring.Load() {
+				r.dropped.Add(1)
+			}
+		}
+		next = next.Add(interval)
+		// A long stall (GC, scheduler) must not cause a burst of
+		// thousands of make-up arrivals; cap the backlog at one second.
+		if lag := time.Since(next); lag > time.Second {
+			next = time.Now()
+		}
+	}
+	close(queue)
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Mix is a weighted endpoint mix parsed from the -mix flag syntax
+// ("query=70,topk=20,explain=10"). Weights are relative, not
+// percentages; any positive integers work.
+type Mix struct {
+	endpoints []string
+	cum       []int // cumulative weights for O(log n) picking
+	total     int
+}
+
+// knownEndpoints are the serve API endpoints the generator can drive.
+var knownEndpoints = map[string]bool{"query": true, "topk": true, "explain": true}
+
+// ParseMix parses the endpoint mix specification.
+func ParseMix(spec string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: bad mix entry %q: want endpoint=weight", part)
+		}
+		name = strings.TrimSpace(strings.TrimPrefix(name, "/"))
+		if !knownEndpoints[name] {
+			return Mix{}, fmt.Errorf("loadgen: unknown endpoint %q: want query, topk or explain", name)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+		if err != nil || w <= 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad weight in %q: want a positive integer", part)
+		}
+		m.endpoints = append(m.endpoints, name)
+		m.total += w
+		m.cum = append(m.cum, m.total)
+	}
+	if m.total == 0 {
+		return Mix{}, fmt.Errorf("loadgen: empty mix %q", spec)
+	}
+	return m, nil
+}
+
+// Pick draws one endpoint according to the weights.
+func (m Mix) Pick(rng *rand.Rand) string {
+	x := rng.Intn(m.total)
+	for i, c := range m.cum {
+		if x < c {
+			return m.endpoints[i]
+		}
+	}
+	return m.endpoints[len(m.endpoints)-1]
+}
+
+// Endpoints returns the distinct endpoints in the mix.
+func (m Mix) Endpoints() []string { return m.endpoints }
+
+// Workload turns a node-name space and a mix into concrete request
+// URLs. Node pairs are drawn uniformly from the space with the
+// caller's seeded RNG, so the sequence is reproducible.
+type Workload struct {
+	Nodes []string
+	Mix   Mix
+	K     int // top-k size for /topk requests
+}
+
+// Next generates one request: the endpoint label (for per-endpoint
+// stats) and the URL path+query relative to the server base.
+func (w *Workload) Next(rng *rand.Rand) (endpoint, pathQuery string) {
+	ep := w.Mix.Pick(rng)
+	u := w.Nodes[rng.Intn(len(w.Nodes))]
+	switch ep {
+	case "topk":
+		return ep, "/topk?u=" + url.QueryEscape(u) + "&k=" + strconv.Itoa(w.K)
+	default: // query, explain: a node pair
+		v := w.Nodes[rng.Intn(len(w.Nodes))]
+		return ep, "/" + ep + "?u=" + url.QueryEscape(u) + "&v=" + url.QueryEscape(v)
+	}
+}

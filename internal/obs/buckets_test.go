@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyBucketsMicrosecondResolution is the regression test for
+// the low-end bucket resolution: a warm cached query runs ~2µs, and the
+// default ladder must place a synthetic 2µs stream's p50/p99 inside a
+// bucket whose bounds tightly bracket 2µs — clearly distinguishable
+// from a 50µs stream.
+func TestLatencyBucketsMicrosecondResolution(t *testing.T) {
+	fill := func(d time.Duration) HistogramSnapshot {
+		h := newHistogram(nil) // default LatencyBuckets
+		for i := 0; i < 1000; i++ {
+			h.ObserveDuration(d)
+		}
+		return h.Snapshot()
+	}
+
+	fast := fill(2 * time.Microsecond)
+	// 2µs is an exact bucket bound: le semantics put the whole stream in
+	// the (1.5µs, 2µs] bucket, so every interpolated quantile must land
+	// inside it.
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{{"p50", fast.P50}, {"p99", fast.P99}} {
+		if q.v <= 1.5e-6 || q.v > 2e-6 {
+			t.Errorf("2µs stream %s = %gs, want within (1.5µs, 2µs]", q.name, q.v)
+		}
+	}
+
+	slow := fill(50 * time.Microsecond)
+	if slow.P50 <= 3e-5 || slow.P50 > 5e-5 {
+		t.Errorf("50µs stream p50 = %gs, want within (30µs, 50µs]", slow.P50)
+	}
+	// The two populations must be separated by well over an order of
+	// magnitude after interpolation — the original coarse ladder could
+	// not guarantee this at the microsecond scale.
+	if slow.P50 < 10*fast.P50 {
+		t.Errorf("p50 separation too small: fast %gs vs slow %gs", fast.P50, slow.P50)
+	}
+}
+
+// TestLatencyBucketsInvariants guards the properties promlint enforces
+// on the exposition: strictly ascending bounds and the implicit +Inf
+// bucket making _bucket{le="+Inf"} equal _count.
+func TestLatencyBucketsInvariants(t *testing.T) {
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("LatencyBuckets not ascending at %d: %g <= %g",
+				i, LatencyBuckets[i], LatencyBuckets[i-1])
+		}
+	}
+	h := newHistogram(nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)) // plenty land beyond the 10s top bound
+	}
+	s := h.Snapshot()
+	last := s.Buckets[len(s.Buckets)-1]
+	if !isInf(last.LE) {
+		t.Fatal("last bucket is not +Inf")
+	}
+	if last.CumCount != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last.CumCount, s.Count)
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }

@@ -1,0 +1,355 @@
+// Package profwatch is the anomaly-triggered profiler: a background
+// watcher that polls a latency histogram, computes the p99 of the
+// observations that arrived since the previous poll (a windowed delta,
+// not the lifetime distribution — a spike must not be diluted by hours
+// of healthy history), and when that p99 crosses a configured threshold
+// captures a CPU + heap pprof pair into a bounded in-memory ring.
+//
+// The point is evidence: by the time a human looks at a latency alert
+// the interesting profile is gone. The watcher snapshots it at the
+// moment of degradation and serves the ring at /debug/profiles, with a
+// cooldown so a sustained spike produces one capture, not a capture per
+// poll.
+//
+// Like every obs subsystem: nil is off. Start returns nil when
+// unconfigured, and a nil *Watcher's methods no-op, so serve wires it
+// unconditionally. The watched histogram is only snapshotted from the
+// background goroutine — the serving hot path pays nothing.
+package profwatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+// Config describes what to watch and when to capture.
+type Config struct {
+	// Hist is the latency histogram to watch (seconds-valued, e.g.
+	// semsim_query_seconds). Required: nil disables the watcher.
+	Hist *obs.Histogram
+
+	// Threshold triggers a capture when the inter-poll p99 exceeds it.
+	// Zero or negative disables the watcher.
+	Threshold time.Duration
+
+	// Interval between polls. Default 10s.
+	Interval time.Duration
+
+	// Cooldown is the minimum gap between captures. Default 5m.
+	Cooldown time.Duration
+
+	// MinSamples is the minimum number of new observations between
+	// polls for the delta p99 to be trusted — a single stray slow query
+	// on an idle server should not burn a capture. Default 20.
+	MinSamples int64
+
+	// RingSize bounds how many captures are kept; older ones are
+	// evicted. Default 4.
+	RingSize int
+
+	// CPUProfileDuration is how long the CPU profile runs on trigger.
+	// Default 2s.
+	CPUProfileDuration time.Duration
+}
+
+// Capture is one CPU+heap profile pair taken at a trigger.
+type Capture struct {
+	ID   int       `json:"id"`
+	Time time.Time `json:"time"`
+	// P99 is the inter-poll p99 (seconds) that tripped the threshold.
+	P99 float64 `json:"p99_seconds"`
+	// Samples is how many observations the delta window held.
+	Samples int64  `json:"samples"`
+	CPU     []byte `json:"-"`
+	Heap    []byte `json:"-"`
+}
+
+// Watcher polls the histogram and holds the capture ring.
+type Watcher struct {
+	cfg Config
+
+	mu          sync.Mutex
+	ring        []*Capture
+	nextID      int
+	prev        obs.HistogramSnapshot
+	lastCapture time.Time
+
+	captures *obs.Counter
+	errs     *obs.Counter
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Start validates the config, applies defaults, registers the
+// accounting series on reg (semsim_profile_captures_total,
+// semsim_profile_capture_errors_total, the threshold gauge and the
+// last-capture timestamp) and launches the poll loop. Returns nil —
+// the disabled watcher — when cfg.Hist is nil or cfg.Threshold <= 0.
+func Start(cfg Config, reg *obs.Registry) *Watcher {
+	if cfg.Hist == nil || cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Minute
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 20
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4
+	}
+	if cfg.CPUProfileDuration <= 0 {
+		cfg.CPUProfileDuration = 2 * time.Second
+	}
+	w := &Watcher{
+		cfg:      cfg,
+		prev:     cfg.Hist.Snapshot(),
+		captures: reg.Counter("semsim_profile_captures_total", "Anomaly-triggered CPU+heap profile captures."),
+		errs:     reg.Counter("semsim_profile_capture_errors_total", "Profile captures that failed (e.g. CPU profiling already active)."),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	reg.GaugeFunc("semsim_profile_p99_threshold_seconds",
+		"Inter-poll p99 latency above which a profile capture triggers.",
+		func() float64 { return cfg.Threshold.Seconds() })
+	reg.GaugeFunc("semsim_profile_last_capture_timestamp_seconds",
+		"Unix time of the most recent anomaly profile capture (0 = none yet).",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			if w.lastCapture.IsZero() {
+				return 0
+			}
+			return float64(w.lastCapture.UnixNano()) / 1e9
+		})
+	reg.GaugeFunc("semsim_profile_ring_captures",
+		"Profile captures currently held in the /debug/profiles ring.",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(len(w.ring))
+		})
+	go w.run()
+	return w
+}
+
+func (w *Watcher) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.poll()
+		}
+	}
+}
+
+// Stop terminates the poll loop and waits for it to exit. Safe to call
+// more than once; no-op on nil.
+func (w *Watcher) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// poll snapshots the histogram, derives the delta distribution since
+// the previous poll and captures a profile pair when its p99 crosses
+// the threshold (subject to MinSamples and the cooldown).
+func (w *Watcher) poll() {
+	cur := w.cfg.Hist.Snapshot()
+	w.mu.Lock()
+	prev := w.prev
+	w.prev = cur
+	last := w.lastCapture
+	w.mu.Unlock()
+
+	delta := deltaSnapshot(prev, cur)
+	if delta.Count < w.cfg.MinSamples {
+		return
+	}
+	p99 := delta.Quantile(0.99)
+	if p99 <= w.cfg.Threshold.Seconds() {
+		return
+	}
+	if !last.IsZero() && time.Since(last) < w.cfg.Cooldown {
+		return
+	}
+	w.capture(p99, delta.Count)
+}
+
+// deltaSnapshot subtracts two cumulative snapshots of the same
+// histogram, yielding the distribution of observations that arrived
+// between them. Bucket layouts always match (the histogram's bounds
+// are immutable); a count that appears to run backwards (snapshot
+// racing observations) clamps to 0.
+func deltaSnapshot(prev, cur obs.HistogramSnapshot) obs.HistogramSnapshot {
+	d := obs.HistogramSnapshot{
+		Count:   cur.Count - prev.Count,
+		Sum:     cur.Sum - prev.Sum,
+		Buckets: make([]obs.Bucket, len(cur.Buckets)),
+	}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	for i := range cur.Buckets {
+		c := cur.Buckets[i].CumCount
+		if i < len(prev.Buckets) {
+			c -= prev.Buckets[i].CumCount
+		}
+		if c < 0 {
+			c = 0
+		}
+		d.Buckets[i] = obs.Bucket{LE: cur.Buckets[i].LE, CumCount: c}
+	}
+	return d
+}
+
+// capture takes the CPU+heap pair and appends it to the ring. The CPU
+// profile can fail if another CPU profile is already running (e.g. a
+// manual /debug/pprof/profile fetch) — that is counted and the heap
+// half is still taken.
+func (w *Watcher) capture(p99 float64, samples int64) {
+	cp := &Capture{P99: p99, Samples: samples, Time: time.Now()}
+
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		w.errs.Inc()
+	} else {
+		select {
+		case <-time.After(w.cfg.CPUProfileDuration):
+		case <-w.stop:
+		}
+		pprof.StopCPUProfile()
+		cp.CPU = cpu.Bytes()
+	}
+
+	var heap bytes.Buffer
+	if err := pprof.WriteHeapProfile(&heap); err != nil {
+		w.errs.Inc()
+	} else {
+		cp.Heap = heap.Bytes()
+	}
+
+	w.mu.Lock()
+	w.nextID++
+	cp.ID = w.nextID
+	w.ring = append(w.ring, cp)
+	if len(w.ring) > w.cfg.RingSize {
+		w.ring = w.ring[len(w.ring)-w.cfg.RingSize:]
+	}
+	w.lastCapture = cp.Time
+	w.mu.Unlock()
+	w.captures.Inc()
+}
+
+// Captures returns the ring newest-last (a copy; nil on nil).
+func (w *Watcher) Captures() []*Capture {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*Capture, len(w.ring))
+	copy(out, w.ring)
+	return out
+}
+
+// Handler serves the capture ring:
+//
+//	GET <prefix>          -> JSON index of held captures
+//	GET <prefix>/<id>/cpu -> CPU profile (pprof binary)
+//	GET <prefix>/<id>/heap-> heap profile (pprof binary)
+//
+// where prefix is the path the handler is mounted at (e.g.
+// /debug/profiles). A nil watcher serves an empty index, so serve can
+// mount it unconditionally.
+func (w *Watcher) Handler(prefix string) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, prefix), "/")
+		if rest == "" {
+			w.serveIndex(rw)
+			return
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) != 2 {
+			http.Error(rw, "not found", http.StatusNotFound)
+			return
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			http.Error(rw, "bad capture id", http.StatusBadRequest)
+			return
+		}
+		var hit *Capture
+		for _, c := range w.Captures() {
+			if c.ID == id {
+				hit = c
+				break
+			}
+		}
+		if hit == nil {
+			http.Error(rw, "no such capture (evicted or never taken)", http.StatusNotFound)
+			return
+		}
+		var body []byte
+		switch parts[1] {
+		case "cpu":
+			body = hit.CPU
+		case "heap":
+			body = hit.Heap
+		default:
+			http.Error(rw, "want cpu or heap", http.StatusNotFound)
+			return
+		}
+		if len(body) == 0 {
+			http.Error(rw, "profile half missing (capture error)", http.StatusNotFound)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename="semsim-%d-%s.pprof"`, id, parts[1]))
+		rw.Write(body)
+	})
+}
+
+// indexEntry is the JSON row for one capture in the Handler index.
+type indexEntry struct {
+	ID        int       `json:"id"`
+	Time      time.Time `json:"time"`
+	P99       float64   `json:"p99_seconds"`
+	Samples   int64     `json:"samples"`
+	CPUBytes  int       `json:"cpu_bytes"`
+	HeapBytes int       `json:"heap_bytes"`
+}
+
+func (w *Watcher) serveIndex(rw http.ResponseWriter) {
+	caps := w.Captures()
+	entries := make([]indexEntry, 0, len(caps))
+	for _, c := range caps {
+		entries = append(entries, indexEntry{
+			ID: c.ID, Time: c.Time, P99: c.P99, Samples: c.Samples,
+			CPUBytes: len(c.CPU), HeapBytes: len(c.Heap),
+		})
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{"captures": entries})
+}

@@ -1,0 +1,269 @@
+package profwatch
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+// testWatcher starts a watcher with a huge poll interval so the
+// background loop stays idle and tests drive poll() directly.
+func testWatcher(t *testing.T, reg *obs.Registry, h *obs.Histogram, cfg Config) *Watcher {
+	t.Helper()
+	cfg.Hist = h
+	cfg.Interval = time.Hour
+	if cfg.Threshold == 0 {
+		cfg.Threshold = time.Millisecond
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 10
+	}
+	if cfg.CPUProfileDuration == 0 {
+		cfg.CPUProfileDuration = 10 * time.Millisecond
+	}
+	w := Start(cfg, reg)
+	if w == nil {
+		t.Fatal("Start returned nil for a valid config")
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func observeN(h *obs.Histogram, n int, d time.Duration) {
+	for i := 0; i < n; i++ {
+		h.ObserveDuration(d)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	if w := Start(Config{Threshold: time.Millisecond}, reg); w != nil {
+		t.Fatal("Start without a histogram should return nil")
+	}
+	h := reg.Histogram("h", "", nil)
+	if w := Start(Config{Hist: h}, reg); w != nil {
+		t.Fatal("Start without a threshold should return nil")
+	}
+	var nilW *Watcher
+	nilW.Stop()
+	if nilW.Captures() != nil {
+		t.Fatal("nil Captures() != nil")
+	}
+	// A nil watcher still serves an empty index so the route can be
+	// mounted unconditionally.
+	rec := httptest.NewRecorder()
+	nilW.Handler("/debug/profiles").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil index status %d", rec.Code)
+	}
+	var idx struct {
+		Captures []indexEntry `json:"captures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("nil index not JSON: %v", err)
+	}
+	if len(idx.Captures) != 0 {
+		t.Fatalf("nil index has %d captures", len(idx.Captures))
+	}
+}
+
+func TestInjectedStallTriggersCapture(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	observeN(h, 100, 5*time.Microsecond) // healthy history before Start
+	w := testWatcher(t, reg, h, Config{Cooldown: time.Hour})
+
+	// Healthy traffic: no capture.
+	observeN(h, 50, 5*time.Microsecond)
+	w.poll()
+	if got := w.captures.Value(); got != 0 {
+		t.Fatalf("healthy traffic captured %d profiles", got)
+	}
+
+	// Injected stall: the inter-poll window is all 10ms observations,
+	// so its p99 is far over the 1ms threshold.
+	observeN(h, 50, 10*time.Millisecond)
+	w.poll()
+	if got := w.captures.Value(); got != 1 {
+		t.Fatalf("captures = %d after stall, want 1", got)
+	}
+	caps := w.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("ring holds %d, want 1", len(caps))
+	}
+	c := caps[0]
+	if len(c.CPU) == 0 || len(c.Heap) == 0 {
+		t.Fatalf("capture halves empty: cpu=%d heap=%d bytes", len(c.CPU), len(c.Heap))
+	}
+	if c.P99 <= 0.001 {
+		t.Fatalf("recorded trigger p99 %g <= threshold", c.P99)
+	}
+	if c.Samples != 50 {
+		t.Fatalf("delta samples = %d, want 50", c.Samples)
+	}
+	if got := w.errs.Value(); got != 0 {
+		t.Fatalf("capture errors = %d", got)
+	}
+}
+
+func TestMinSamplesGuard(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	w := testWatcher(t, reg, h, Config{MinSamples: 10})
+
+	// A single stray slow request on an idle server must not trigger.
+	h.ObserveDuration(time.Second)
+	w.poll()
+	if got := w.captures.Value(); got != 0 {
+		t.Fatalf("captured on %d samples below MinSamples", got)
+	}
+}
+
+func TestCooldownSuppressesRepeatCaptures(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	w := testWatcher(t, reg, h, Config{Cooldown: 300 * time.Millisecond})
+
+	observeN(h, 50, 10*time.Millisecond)
+	w.poll()
+	if got := w.captures.Value(); got != 1 {
+		t.Fatalf("first stall: captures = %d, want 1", got)
+	}
+	// Sustained spike inside the cooldown: no second capture.
+	observeN(h, 50, 10*time.Millisecond)
+	w.poll()
+	if got := w.captures.Value(); got != 1 {
+		t.Fatalf("inside cooldown: captures = %d, want 1", got)
+	}
+	// After the cooldown the next spike captures again.
+	time.Sleep(350 * time.Millisecond)
+	observeN(h, 50, 10*time.Millisecond)
+	w.poll()
+	if got := w.captures.Value(); got != 2 {
+		t.Fatalf("after cooldown: captures = %d, want 2", got)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	w := testWatcher(t, reg, h, Config{RingSize: 2, Cooldown: time.Nanosecond})
+
+	for i := 0; i < 4; i++ {
+		observeN(h, 50, 10*time.Millisecond)
+		time.Sleep(time.Millisecond) // step past the 1ns cooldown
+		w.poll()
+	}
+	if got := w.captures.Value(); got != 4 {
+		t.Fatalf("captures = %d, want 4", got)
+	}
+	caps := w.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("ring holds %d, want bound 2", len(caps))
+	}
+	if caps[0].ID != 3 || caps[1].ID != 4 {
+		t.Fatalf("ring kept IDs %d,%d, want newest 3,4", caps[0].ID, caps[1].ID)
+	}
+}
+
+func TestHandlerServesRing(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	w := testWatcher(t, reg, h, Config{Cooldown: time.Hour})
+	observeN(h, 50, 10*time.Millisecond)
+	w.poll()
+
+	hd := w.Handler("/debug/profiles")
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		hd.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/debug/profiles")
+	if rec.Code != 200 {
+		t.Fatalf("index status %d", rec.Code)
+	}
+	var idx struct {
+		Captures []indexEntry `json:"captures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index not JSON: %v", err)
+	}
+	if len(idx.Captures) != 1 || idx.Captures[0].CPUBytes == 0 || idx.Captures[0].HeapBytes == 0 {
+		t.Fatalf("bad index: %+v", idx)
+	}
+	id := idx.Captures[0].ID
+
+	for _, half := range []string{"cpu", "heap"} {
+		rec := get("/debug/profiles/1/" + half)
+		if rec.Code != 200 || rec.Body.Len() == 0 {
+			t.Fatalf("%s fetch: status %d, %d bytes", half, rec.Code, rec.Body.Len())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+			t.Fatalf("%s content type %q", half, ct)
+		}
+	}
+	_ = id
+
+	for path, want := range map[string]int{
+		"/debug/profiles/99/cpu":   404,
+		"/debug/profiles/1/goros":  404,
+		"/debug/profiles/x/cpu":    400,
+		"/debug/profiles/1/cpu/xx": 404,
+	} {
+		if rec := get(path); rec.Code != want {
+			t.Errorf("%s: status %d, want %d", path, rec.Code, want)
+		}
+	}
+}
+
+func TestBackgroundLoopPolls(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("semsim_query_seconds", "", nil)
+	w := Start(Config{
+		Hist:               h,
+		Threshold:          time.Millisecond,
+		Interval:           20 * time.Millisecond,
+		MinSamples:         10,
+		CPUProfileDuration: 10 * time.Millisecond,
+		Cooldown:           time.Hour,
+	}, reg)
+	if w == nil {
+		t.Fatal("Start returned nil")
+	}
+	defer w.Stop()
+	observeN(h, 50, 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for w.captures.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := w.captures.Value(); got != 1 {
+		t.Fatalf("background loop captured %d, want 1", got)
+	}
+}
+
+func TestDeltaSnapshot(t *testing.T) {
+	h := obs.NewRegistry().Histogram("h", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	prev := h.Snapshot()
+	h.Observe(0.05)
+	h.Observe(0.05)
+	cur := h.Snapshot()
+	d := deltaSnapshot(prev, cur)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	// Both new observations sit in the (0.01, 0.1] bucket.
+	if q := d.Quantile(0.99); q <= 0.01 || q > 0.1 {
+		t.Fatalf("delta p99 = %g, want in (0.01, 0.1]", q)
+	}
+	// The old fast observation must not leak into the delta.
+	if q := d.Quantile(0.01); q <= 0.01 {
+		t.Fatalf("delta p1 = %g, old observation leaked in", q)
+	}
+}

@@ -14,13 +14,17 @@ import (
 // an operator can slice latency by strategy, correlate CI width with
 // cache hit ratio, or grep a single bad query out of a day of traffic.
 type QueryEvent struct {
-	Time     time.Time `json:"ts"`
-	Endpoint string    `json:"endpoint"`
-	U        string    `json:"u,omitempty"`
-	V        string    `json:"v,omitempty"`
-	K        int       `json:"k,omitempty"`
-	Status   int       `json:"status"`
-	Error    string    `json:"error,omitempty"`
+	Time time.Time `json:"ts"`
+	// RequestID is the serve-assigned (or X-Semsim-Request-propagated)
+	// request identifier — the join key between the query log, the
+	// sampled trace log and whatever an upstream caller logged.
+	RequestID string `json:"request_id,omitempty"`
+	Endpoint  string `json:"endpoint"`
+	U         string `json:"u,omitempty"`
+	V         string `json:"v,omitempty"`
+	K         int    `json:"k,omitempty"`
+	Status    int    `json:"status"`
+	Error     string `json:"error,omitempty"`
 
 	Score          float64 `json:"score,omitempty"`
 	Results        int     `json:"results,omitempty"`

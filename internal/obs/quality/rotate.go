@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"os"
+	"sync"
+)
+
+// RotatingFile is an append-only file writer with size-based rotation,
+// the durability backstop for the NDJSON query and trace logs: when a
+// write would push the file past maxBytes, the current file is renamed
+// to path.1 (replacing the previous generation — exactly one is kept)
+// and a fresh file is started at path. Rotation bounds disk use at
+// roughly 2×maxBytes per log without an external logrotate.
+//
+// Writes are mutex-serialized and never split across a rotation, so
+// each generation holds whole NDJSON lines as long as callers write one
+// line per call (QueryLog and TraceLog both do).
+type RotatingFile struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// OpenRotatingFile opens (creating if needed) path for appending with
+// rotation at maxBytes. maxBytes <= 0 disables rotation — the file just
+// grows, matching a plain append open.
+func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingFile{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first if the file would exceed maxBytes.
+// A write larger than maxBytes into an empty file is written anyway
+// (rotating would just produce an empty generation). On rotation
+// failure the writer recovers by reopening the original path so
+// subsequent writes still land somewhere; the failed write's error is
+// returned for the caller's drop accounting.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.maxBytes > 0 && r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked closes the live file, shifts it to the .1 generation and
+// reopens path truncated. Caller holds r.mu.
+func (r *RotatingFile) rotateLocked() error {
+	r.f.Close()
+	renameErr := os.Rename(r.path, r.path+".1")
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if renameErr != nil {
+		// Could not shift the generation: fall back to appending to the
+		// still-existing file rather than truncating data away.
+		f, err := os.OpenFile(r.path, flags, 0o644)
+		if err != nil {
+			return err
+		}
+		r.f = f
+		if st, err := f.Stat(); err == nil {
+			r.size = st.Size()
+		}
+		return renameErr
+	}
+	f, err := os.OpenFile(r.path, flags|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.size = 0
+	return nil
+}
+
+// Close closes the underlying file.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

@@ -1,0 +1,247 @@
+// Package slo tracks serving-level objectives over the request stream:
+// a latency objective ("99% of requests complete under 1ms") and an
+// availability objective ("99% of requests succeed"), each reported as
+// multi-window burn rates in the Google SRE style. A burn rate is the
+// observed bad-request fraction divided by the budgeted fraction
+// (1 − objective): 1.0 means the error budget is being consumed exactly
+// as provisioned, 10 means ten times too fast. Pairing a short window
+// (fast detection) with a long window (noise suppression) is what makes
+// burn-rate alerts both quick and quiet — an alert fires only when both
+// windows burn hot.
+//
+// The tracker follows the obs nil-is-off convention: New returns nil
+// when the objective is disabled, and a nil *Tracker ignores Observe,
+// so the serving hot path pays one predictable branch when SLO tracking
+// is off. Observe itself is a handful of atomic adds on a fixed ring of
+// time slots — no locks, no allocation.
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+// Config describes the objective and the reporting windows.
+type Config struct {
+	// Objective is the required good-request fraction in (0,1),
+	// e.g. 0.99. Applied to both the latency and error objectives.
+	Objective float64
+
+	// LatencyThreshold classifies a request as slow (bad for the
+	// latency objective) when its latency exceeds it. Zero or negative
+	// disables the tracker entirely: New returns nil.
+	LatencyThreshold time.Duration
+
+	// Windows are the burn-rate reporting windows. Empty defaults to
+	// {5m, 1h}.
+	Windows []time.Duration
+
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// DefaultWindows is the window pair used when Config.Windows is empty:
+// a fast-detection window and a 12× longer confirmation window.
+var DefaultWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// slot is one ring cell: the epoch is the absolute slot index the cell
+// currently holds counts for. A cell is lazily reset by the first
+// observer to touch it in a new epoch (CAS on the epoch); readers skip
+// cells whose epoch falls outside the queried window. The reset is not
+// atomic with the counter zeroing, so an observation racing a reset can
+// smear into an adjacent slot — bounded, self-healing imprecision that
+// burn-rate gauges tolerate by design.
+type slot struct {
+	epoch atomic.Int64
+	total atomic.Int64
+	slow  atomic.Int64
+	errs  atomic.Int64
+}
+
+// Tracker classifies each request against the objective and maintains
+// both cumulative counters and the windowed slot ring the burn-rate
+// gauges read. Safe for concurrent use.
+type Tracker struct {
+	objective float64
+	threshold time.Duration
+	windows   []time.Duration
+	slotDur   time.Duration
+	slots     []slot
+	now       func() time.Time
+
+	reqs     *obs.Counter
+	slowReqs *obs.Counter
+	errReqs  *obs.Counter
+}
+
+// New builds a tracker and registers its exposition series on reg:
+// cumulative semsim_slo_{requests,slow_requests,errors}_total counters,
+// the configuration gauges semsim_slo_objective and
+// semsim_slo_latency_threshold_seconds, and one
+// semsim_slo_{latency,error}_burn_rate{window="..."} gauge pair per
+// window, evaluated at scrape time. Returns nil (the disabled tracker)
+// when cfg.LatencyThreshold <= 0 or the objective is outside (0,1).
+func New(cfg Config, reg *obs.Registry) *Tracker {
+	if cfg.LatencyThreshold <= 0 || cfg.Objective <= 0 || cfg.Objective >= 1 {
+		return nil
+	}
+	windows := cfg.Windows
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	minW, maxW := windows[0], windows[0]
+	for _, w := range windows[1:] {
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// Slot granularity: ~60 slots across the shortest window keeps the
+	// sliding-window error under ~2% without letting the long window
+	// inflate the ring (1h at 5s slots is 722 cells, ~23KB).
+	slotDur := minW / 60
+	if slotDur < time.Second {
+		slotDur = time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	t := &Tracker{
+		objective: cfg.Objective,
+		threshold: cfg.LatencyThreshold,
+		windows:   windows,
+		slotDur:   slotDur,
+		slots:     make([]slot, int(maxW/slotDur)+2),
+		now:       now,
+		reqs:      reg.Counter("semsim_slo_requests_total", "Requests classified by the SLO tracker."),
+		slowReqs:  reg.Counter("semsim_slo_slow_requests_total", "Requests exceeding the SLO latency threshold."),
+		errReqs:   reg.Counter("semsim_slo_errors_total", "Requests that failed (5xx) as seen by the SLO tracker."),
+	}
+	reg.GaugeFunc("semsim_slo_objective",
+		"Configured SLO objective (required good-request fraction).",
+		func() float64 { return t.objective })
+	reg.GaugeFunc("semsim_slo_latency_threshold_seconds",
+		"Latency above which a request counts against the latency SLO.",
+		func() float64 { return t.threshold.Seconds() })
+	for _, w := range t.windows {
+		w := w
+		reg.GaugeFunc(obs.SeriesName("semsim_slo_latency_burn_rate", "window", WindowLabel(w)),
+			"Latency error-budget burn rate over the labeled window (1 = budget consumed exactly at the provisioned rate).",
+			func() float64 { return t.LatencyBurnRate(w) })
+		reg.GaugeFunc(obs.SeriesName("semsim_slo_error_burn_rate", "window", WindowLabel(w)),
+			"Availability error-budget burn rate over the labeled window.",
+			func() float64 { return t.ErrorBurnRate(w) })
+	}
+	return t
+}
+
+// Windows returns the configured reporting windows (nil on nil).
+func (t *Tracker) Windows() []time.Duration {
+	if t == nil {
+		return nil
+	}
+	return t.windows
+}
+
+// Observe classifies one finished request. No-op on nil.
+func (t *Tracker) Observe(latency time.Duration, isError bool) {
+	if t == nil {
+		return
+	}
+	slow := latency > t.threshold
+	t.reqs.Inc()
+	if slow {
+		t.slowReqs.Inc()
+	}
+	if isError {
+		t.errReqs.Inc()
+	}
+
+	idx := t.now().UnixNano() / int64(t.slotDur)
+	s := &t.slots[int(idx%int64(len(t.slots)))]
+	if e := s.epoch.Load(); e != idx {
+		// First toucher in this epoch resets the cell; CAS losers see
+		// the new epoch and just add.
+		if s.epoch.CompareAndSwap(e, idx) {
+			s.total.Store(0)
+			s.slow.Store(0)
+			s.errs.Store(0)
+		}
+	}
+	s.total.Add(1)
+	if slow {
+		s.slow.Add(1)
+	}
+	if isError {
+		s.errs.Add(1)
+	}
+}
+
+// LatencyBurnRate reports the latency-objective burn rate over the
+// trailing window w: slow-request fraction divided by (1 − objective).
+// 0 with no traffic or on nil.
+func (t *Tracker) LatencyBurnRate(w time.Duration) float64 {
+	return t.burnRate(w, func(s *slot) int64 { return s.slow.Load() })
+}
+
+// ErrorBurnRate reports the availability burn rate over the trailing
+// window w: error fraction divided by (1 − objective). 0 with no
+// traffic or on nil.
+func (t *Tracker) ErrorBurnRate(w time.Duration) float64 {
+	return t.burnRate(w, func(s *slot) int64 { return s.errs.Load() })
+}
+
+func (t *Tracker) burnRate(w time.Duration, bad func(*slot) int64) float64 {
+	if t == nil || w <= 0 {
+		return 0
+	}
+	nowIdx := t.now().UnixNano() / int64(t.slotDur)
+	span := int64(w / t.slotDur)
+	if span < 1 {
+		span = 1
+	}
+	minIdx := nowIdx - span
+	var total, badN int64
+	for i := range t.slots {
+		s := &t.slots[i]
+		e := s.epoch.Load()
+		if e > minIdx && e <= nowIdx {
+			total += s.total.Load()
+			badN += bad(s)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return (float64(badN) / float64(total)) / (1 - t.objective)
+}
+
+// WindowLabel renders a window duration as a compact label value with
+// zero-valued units dropped: 5m0s -> "5m", 1h0m0s -> "1h",
+// 90s -> "1m30s". Sub-second windows fall back to Duration.String.
+func WindowLabel(d time.Duration) string {
+	if d < time.Second {
+		return d.String()
+	}
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	s := (d % time.Minute) / time.Second
+	var b strings.Builder
+	if h > 0 {
+		fmt.Fprintf(&b, "%dh", h)
+	}
+	if m > 0 {
+		fmt.Fprintf(&b, "%dm", m)
+	}
+	if s > 0 || b.Len() == 0 {
+		fmt.Fprintf(&b, "%ds", s)
+	}
+	return b.String()
+}

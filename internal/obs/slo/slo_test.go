@@ -1,0 +1,244 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semsim/internal/obs"
+)
+
+// fakeClock is a mutex-guarded settable clock for driving the slot ring
+// deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(t *testing.T, reg *obs.Registry, clk *fakeClock) *Tracker {
+	t.Helper()
+	tr := New(Config{
+		Objective:        0.99,
+		LatencyThreshold: time.Millisecond,
+		Windows:          []time.Duration{time.Minute, 12 * time.Minute},
+		Now:              clk.Now,
+	}, reg)
+	if tr == nil {
+		t.Fatal("New returned nil for a valid config")
+	}
+	return tr
+}
+
+func TestDisabledConfigs(t *testing.T) {
+	reg := obs.NewRegistry()
+	cases := []Config{
+		{Objective: 0.99, LatencyThreshold: 0},
+		{Objective: 0.99, LatencyThreshold: -time.Second},
+		{Objective: 0, LatencyThreshold: time.Millisecond},
+		{Objective: 1, LatencyThreshold: time.Millisecond},
+		{Objective: 1.5, LatencyThreshold: time.Millisecond},
+	}
+	for i, cfg := range cases {
+		if tr := New(cfg, reg); tr != nil {
+			t.Errorf("case %d: New(%+v) != nil", i, cfg)
+		}
+	}
+	var nilTr *Tracker
+	nilTr.Observe(time.Second, true) // must not panic
+	if got := nilTr.LatencyBurnRate(time.Minute); got != 0 {
+		t.Errorf("nil LatencyBurnRate = %g", got)
+	}
+	if nilTr.Windows() != nil {
+		t.Error("nil Windows() != nil")
+	}
+}
+
+func TestBurnRateMath(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+
+	// 100 requests, 1 slow, 0 errors. Objective 0.99 budgets 1% bad,
+	// so a 1% slow fraction burns at exactly 1.0.
+	for i := 0; i < 99; i++ {
+		tr.Observe(10*time.Microsecond, false)
+	}
+	tr.Observe(5*time.Millisecond, false)
+
+	if got := tr.LatencyBurnRate(time.Minute); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("latency burn = %g, want 1.0", got)
+	}
+	if got := tr.ErrorBurnRate(time.Minute); got != 0 {
+		t.Errorf("error burn = %g, want 0", got)
+	}
+
+	// 10 errors on top: error fraction 10/110, burn = (10/110)/0.01.
+	for i := 0; i < 10; i++ {
+		tr.Observe(10*time.Microsecond, true)
+	}
+	want := (10.0 / 110.0) / 0.01
+	if got := tr.ErrorBurnRate(time.Minute); math.Abs(got-want) > 1e-9 {
+		t.Errorf("error burn = %g, want %g", got, want)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+
+	// Burn hot, then go idle past the short window: the 1m burn must
+	// drop to 0 while the 12m window still sees the spike.
+	for i := 0; i < 50; i++ {
+		tr.Observe(5*time.Millisecond, false)
+	}
+	if got := tr.LatencyBurnRate(time.Minute); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("all-slow burn = %g, want 100 (1.0/0.01)", got)
+	}
+	clk.Advance(2 * time.Minute)
+	if got := tr.LatencyBurnRate(time.Minute); got != 0 {
+		t.Errorf("1m burn after 2m idle = %g, want 0", got)
+	}
+	if got := tr.LatencyBurnRate(12 * time.Minute); math.Abs(got-100) > 1e-6 {
+		t.Errorf("12m burn after 2m idle = %g, want 100", got)
+	}
+
+	// Past the long window too: ring slots from the spike now carry
+	// epochs outside every window.
+	clk.Advance(15 * time.Minute)
+	if got := tr.LatencyBurnRate(12 * time.Minute); got != 0 {
+		t.Errorf("12m burn after expiry = %g, want 0", got)
+	}
+}
+
+func TestSlotRingReuse(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+
+	// Wrap the ring several times; counts must reflect only the live
+	// window, not accumulate across laps.
+	ringSpan := time.Duration(len(tr.slots)) * tr.slotDur
+	for lap := 0; lap < 3; lap++ {
+		for s := time.Duration(0); s < ringSpan; s += tr.slotDur {
+			tr.Observe(10*time.Microsecond, false)
+			clk.Advance(tr.slotDur)
+		}
+	}
+	// One observation per slot: over the trailing minute that is
+	// 1m/slotDur observations, none slow.
+	if got := tr.LatencyBurnRate(time.Minute); got != 0 {
+		t.Errorf("burn after wrap = %g, want 0", got)
+	}
+	if got := tr.reqs.Value(); got != int64(3*int(ringSpan/tr.slotDur)) {
+		t.Errorf("cumulative reqs = %d, want %d", got, 3*int(ringSpan/tr.slotDur))
+	}
+}
+
+func TestExpositionSeries(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+	tr.Observe(5*time.Millisecond, true)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"semsim_slo_requests_total 1",
+		"semsim_slo_slow_requests_total 1",
+		"semsim_slo_errors_total 1",
+		"semsim_slo_objective 0.99",
+		"semsim_slo_latency_threshold_seconds 0.001",
+		`semsim_slo_latency_burn_rate{window="1m"} 9`,
+		`semsim_slo_latency_burn_rate{window="12m"} 9`,
+		`semsim_slo_error_burn_rate{window="1m"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultWindows(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Config{Objective: 0.999, LatencyThreshold: time.Millisecond}, reg)
+	if tr == nil {
+		t.Fatal("New returned nil")
+	}
+	ws := tr.Windows()
+	if len(ws) != 2 || ws[0] != 5*time.Minute || ws[1] != time.Hour {
+		t.Fatalf("default windows = %v, want [5m 1h]", ws)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`window="5m"`, `window="1h"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{5 * time.Minute, "5m"},
+		{time.Hour, "1h"},
+		{90 * time.Second, "1m30s"},
+		{30 * time.Second, "30s"},
+		{time.Hour + 30*time.Minute, "1h30m"},
+		{500 * time.Millisecond, "500ms"},
+	}
+	for _, c := range cases {
+		if got := WindowLabel(c.d); got != c.want {
+			t.Errorf("WindowLabel(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Observe(time.Duration(i%3)*time.Millisecond, i%10 == 0)
+				if i%100 == 0 {
+					tr.LatencyBurnRate(time.Minute)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.reqs.Value(); got != 8000 {
+		t.Fatalf("reqs = %d, want 8000", got)
+	}
+}

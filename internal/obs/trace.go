@@ -97,6 +97,21 @@ func (t *Trace) Spans() []SpanRecord {
 	return out
 }
 
+// Export freezes the trace into its wire form: name, elapsed total and
+// the recorded spans, ready for json.Marshal or a TraceLog. Wall-clock
+// and request identity are the caller's to stamp (serve knows the
+// request ID; the trace does not). Returns the zero record on nil.
+func (t *Trace) Export() TraceRecord {
+	if t == nil {
+		return TraceRecord{}
+	}
+	return TraceRecord{
+		Name:  t.name,
+		Total: t.Total(),
+		Spans: t.Spans(),
+	}
+}
+
 // Total returns the elapsed time since the trace started (0 on nil).
 func (t *Trace) Total() time.Duration {
 	if t == nil {

@@ -36,6 +36,11 @@ const (
 	indexVersionLegacy = 1
 	indexVersion       = 2
 
+	// FormatVersion is the walk-file version Save writes — exported so
+	// serving telemetry (semsim_build_info) can report which on-disk
+	// format this process produces.
+	FormatVersion = indexVersion
+
 	// maxLoadWalks and maxLoadLength bound the header dimensions Load
 	// accepts. The paper's settings are n_w = 150 and t = 15; the caps
 	// leave orders of magnitude of headroom while keeping a corrupted
