@@ -265,6 +265,41 @@ func BenchmarkWalkIndexBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitSmallEdit measures the epoch-snapshot commit path for
+// the smallest real mutation: a single edge toggled on and off between
+// two fixed nodes. Each iteration is one full Commit — incremental walk
+// repair through the touched endpoints, SO-cache invalidation and
+// migration, kernel refresh and the atomic snapshot swap — so ns/op is
+// the floor for mutation latency, not throughput under batching.
+func BenchmarkCommitSmallEdit(b *testing.B) {
+	d, err := datagen.Amazon(datagen.AmazonConfig{Items: 200, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := semsim.BuildIndex(d.Graph, d.Lin, semsim.IndexOptions{
+		NumWalks: 50, WalkLength: 10, C: 0.6, Theta: 0.05,
+		SLINGCutoff: 0.1, WarmCache: true, Seed: 7, MeetIndex: true,
+		Workers: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, v := semsim.NodeID(1), semsim.NodeID(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := idx.NewMutator()
+		if i%2 == 0 {
+			m.AddEdge(u, v, "bench-edit", 1)
+		} else {
+			m.RemoveEdge(u, v, "bench-edit")
+		}
+		if _, err := m.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkQuerySimRankMC is the SimRank single-pair query of Figure 4.
 func BenchmarkQuerySimRankMC(b *testing.B) {
 	e := env(b)
@@ -808,7 +843,7 @@ func BenchmarkIndexRefresh(b *testing.B) {
 	changed := []hin.NodeID{hin.NodeID(7)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.ix.Refresh(e.d.Graph, changed, int64(i)); err != nil {
+		if _, _, err := e.ix.Refresh(e.d.Graph, changed, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,8 +18,9 @@
 #   3. fuzz seed corpora as unit tests      (IO robustness regression,
 #      plus the backend-agreement differential fuzzer's seeds)
 #   4. bench drift guard                    (perf regression — reruns
-#      the hot-path benchmarks and fails if any is >25% ns/op slower
-#      than the committed BENCH_query.json baseline)
+#      the hot-path benchmarks and fails on ns/op drift beyond the
+#      noise-sized BENCH_DRIFT_MAX bar, or any new allocation, vs the
+#      committed BENCH_query.json baseline)
 #
 # Usage: ./ci.sh   (or: make ci)
 set -eu
@@ -59,16 +60,33 @@ done
 go run ./cmd/promlint -url "http://$addr/metrics"
 echo "    /metrics exposition clean (incl. SLO, build_info and profiler series)"
 
-echo "==> tier 1: loadgen smoke (5s closed loop against the live server)"
+echo "==> tier 1: loadgen smoke (5s closed loop + background /mutate churn)"
 "$tmpdir/loadgen" -url "http://$addr" -graph "$tmpdir/smoke.hin" \
     -duration 5s -warmup 1s -concurrency 4 -seed 1 \
+    -mutate-every 500ms -mutate-label co-author \
     -check-min-qps 1 -check-max-5xx 0 -check-max-p99 2s \
+    -check-min-mutations 3 \
     -out "$tmpdir/loadgen.json"
 grep -o '"throughput_qps": [0-9.]*' "$tmpdir/loadgen.json" \
     || { echo "ci: loadgen report missing throughput"; exit 1; }
-# Re-lint the scrape after real traffic: the burn-rate gauges and the
-# HTTP/trace-log counters are now nonzero and must still be clean.
+grep -o '"final_epoch": [0-9]*' "$tmpdir/loadgen.json" \
+    || { echo "ci: loadgen report missing the mutation epoch"; exit 1; }
+# Re-lint the scrape after real traffic: the burn-rate gauges, the
+# HTTP/trace-log counters and the commit/epoch series are now nonzero
+# and must still be clean.
 go run ./cmd/promlint -url "http://$addr/metrics"
+# Queries raced an epoch's worth of commits: the epoch gauge moved, no
+# request failed (checked above), and shadow verification stayed flat —
+# a critical drift would mean a query answered from a torn snapshot.
+curl -sf "http://$addr/metrics" > "$tmpdir/metrics.after"
+grep -q '^semsim_mutator_epoch [1-9]' "$tmpdir/metrics.after" \
+    || { echo "ci: mutator epoch never advanced under churn"; exit 1; }
+grep -q '^semsim_commit_seconds_count [1-9]' "$tmpdir/metrics.after" \
+    || { echo "ci: commit latency was never recorded"; exit 1; }
+if grep '^semsim_shadow_drift_total{severity="critical"}' "$tmpdir/metrics.after" \
+    | grep -qv ' 0$'; then
+    echo "ci: shadow verifier saw critical drift under mutate churn"; exit 1
+fi
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
@@ -86,6 +104,9 @@ go test -race ./internal/obs/
 
 echo "==> tier 2: backend conformance under race"
 go test -race ./internal/engine/...
+
+echo "==> tier 2: mutator churn stress under race"
+go test -race -run 'TestMutatorChurnStress|TestMutatorSnapshotIsolation' -count=1 .
 
 echo "==> tier 3: fuzz seed corpora"
 go test ./internal/walk/ -run Fuzz

@@ -20,9 +20,16 @@
 // gates on /healthz returning 200 — a server still building its index
 // answers 503 and loadgen waits instead of measuring the build.
 //
+// With -mutate-every the generator adds write traffic: one POST /mutate
+// batch at the given cadence (a new node wired into the graph, extra
+// edges, eventually removals), so the server's epoch-snapshot commit
+// path is exercised while reads are in flight. The report gains
+// mutations / mutation_failures / final_epoch fields.
+//
 // For CI use the -check-* flags assert report invariants (minimum
-// throughput, p99 ceiling, 5xx budget) and exit nonzero on violation,
-// so shell harnesses need no JSON parsing.
+// throughput, p99 ceiling, 5xx budget, minimum committed mutation
+// batches) and exit nonzero on violation, so shell harnesses need no
+// JSON parsing.
 package main
 
 import (
@@ -54,9 +61,13 @@ func main() {
 		readyWait   = flag.Duration("ready-timeout", 60*time.Second, "how long to wait for /healthz to turn ready")
 		out         = flag.String("out", "", "write the JSON report here instead of stdout")
 
-		checkMinQPS = flag.Float64("check-min-qps", 0, "exit 1 unless measured throughput is at least this (0 = no check)")
-		checkMaxP99 = flag.Duration("check-max-p99", 0, "exit 1 if aggregate p99 exceeds this (0 = no check)")
-		checkMax5xx = flag.Int64("check-max-5xx", -1, "exit 1 if 5xx responses exceed this (-1 = no check)")
+		mutateEvery = flag.Duration("mutate-every", 0, "POST a /mutate batch at this cadence alongside the read traffic (0 = off)")
+		mutateLabel = flag.String("mutate-label", "co-purchase", "edge label the background mutation batches use")
+
+		checkMinQPS       = flag.Float64("check-min-qps", 0, "exit 1 unless measured throughput is at least this (0 = no check)")
+		checkMaxP99       = flag.Duration("check-max-p99", 0, "exit 1 if aggregate p99 exceeds this (0 = no check)")
+		checkMax5xx       = flag.Int64("check-max-5xx", -1, "exit 1 if 5xx responses exceed this (-1 = no check)")
+		checkMinMutations = flag.Int64("check-min-mutations", 0, "exit 1 unless at least this many /mutate batches committed (0 = no check)")
 	)
 	flag.Parse()
 	if *baseURL == "" || *graphPath == "" {
@@ -97,6 +108,8 @@ func main() {
 		Seed:         *seed,
 		Timeout:      *timeout,
 		ReadyTimeout: *readyWait,
+		MutateEvery:  *mutateEvery,
+		MutateLabel:  *mutateLabel,
 	})
 	if err != nil {
 		fatal(err)
@@ -141,6 +154,13 @@ func main() {
 	if *checkMax5xx >= 0 {
 		check(rep.Status5xx <= *checkMax5xx,
 			"%d 5xx responses > budget %d", rep.Status5xx, *checkMax5xx)
+	}
+	if *checkMinMutations > 0 {
+		check(rep.Mutations >= *checkMinMutations,
+			"%d mutation batches committed < required %d (%d failed)",
+			rep.Mutations, *checkMinMutations, rep.MutationFailures)
+		check(rep.MutationFailures == 0,
+			"%d mutation batches failed", rep.MutationFailures)
 	}
 	if failed {
 		os.Exit(1)

@@ -8,6 +8,7 @@ package main
 //	/query?u=NAME&v=NAME   similarity of one pair (JSON)
 //	/explain?u=NAME&v=NAME estimate-quality evidence: CI, variance, pruning (JSON)
 //	/topk?u=NAME&k=10      top-k most similar nodes (JSON)
+//	/mutate                POST a mutation batch (JSON ops), committed atomically
 //	/snapshot              structured metrics snapshot (JSON)
 //	/metrics               Prometheus text exposition
 //	/debug/vars            expvar (the registry publishes under "semsim")
@@ -18,6 +19,19 @@ package main
 // Errors are structured JSON ({"error": "..."}) with meaningful status
 // codes: 400 for malformed parameters, 404 for unknown nodes (including
 // engine bounds errors), 500 otherwise.
+//
+// POST /mutate accepts {"ops": [...]} where each op is one of
+// {"op":"add_edge","from":N,"to":N,"label":L,"weight":W},
+// {"op":"remove_edge","from":N,"to":N,"label":L},
+// {"op":"add_node","name":N,"label":L} or
+// {"op":"update_concept_freq","concept":N,"freq":F}. Node names resolve
+// against the current epoch's graph, plus names minted by add_node ops
+// earlier in the same batch. The batch commits atomically through the
+// Mutator: concurrent queries keep answering from the previous epoch
+// until the swap, then observe the new one — never a mix. Requests are
+// serialized server-side; a commit that still loses the race answers
+// 409 and can be retried verbatim. The response carries the new epoch
+// and the repair stats (ops applied, walks resampled, nodes added).
 //
 // The listener binds before the index build starts, answering 503 on
 // every route (including /healthz) until the index is built and the
@@ -63,6 +77,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -234,7 +249,7 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 
 	reg.PublishExpvar("semsim")
 	so := newServeObs(reg, qlog, tlog, sampler, tracker, watcher)
-	handler.Store(newServeMux(g, sem, idx, so))
+	handler.Store(newServeMux(idx, so))
 
 	fmt.Fprintf(logw, "semsim: serving on http://%s (backend %s, metrics at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n",
 		l.Addr(), idx.Backend())
@@ -356,6 +371,23 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// mutateOp is the wire shape of one /mutate batch entry; Op selects
+// which of the remaining fields apply.
+type mutateOp struct {
+	Op      string  `json:"op"`
+	From    string  `json:"from,omitempty"`
+	To      string  `json:"to,omitempty"`
+	Label   string  `json:"label,omitempty"`
+	Weight  float64 `json:"weight,omitempty"`
+	Name    string  `json:"name,omitempty"`
+	Concept string  `json:"concept,omitempty"`
+	Freq    float64 `json:"freq,omitempty"`
+}
+
+// maxMutateBody bounds a /mutate request body; far above any sane
+// batch, low enough that a runaway client cannot balloon the heap.
+const maxMutateBody = 4 << 20
+
 // requestIDHeader carries the request ID in both directions: a caller
 // may supply one (gateway-assigned, or the parent's in a future sharded
 // scatter-gather) and serve always echoes the effective ID back.
@@ -391,7 +423,7 @@ func newServeObs(reg *semsim.Metrics, qlog *quality.QueryLog, tlog *obs.TraceLog
 			"End-to-end HTTP latency of the query API endpoints.", nil),
 		reqTotal: map[string]*obs.Counter{},
 	}
-	for _, ep := range []string{"/query", "/explain", "/topk"} {
+	for _, ep := range []string{"/query", "/explain", "/topk", "/mutate"} {
 		so.reqTotal[ep] = reg.Counter(
 			obs.SeriesName("semsim_http_requests_total", "endpoint", ep),
 			"HTTP requests served, by API endpoint.")
@@ -478,12 +510,15 @@ func (so *serveObs) wrap(endpoint string, h func(http.ResponseWriter, *http.Requ
 	}
 }
 
-// newServeMux mounts the query API and the debug surfaces.
-func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *serveObs) *http.ServeMux {
+// newServeMux mounts the query API and the debug surfaces. Handlers
+// resolve the graph and measure from the index per request rather than
+// capturing the build-time objects: /mutate advances the epoch, and
+// name resolution must see nodes added since startup.
+func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 	mux := http.NewServeMux()
 	reg, qlog := so.reg, so.qlog
 
-	node := func(w http.ResponseWriter, r *http.Request, param string, ri *reqInfo) (semsim.NodeID, bool) {
+	node := func(w http.ResponseWriter, r *http.Request, g *semsim.Graph, param string, ri *reqInfo) (semsim.NodeID, bool) {
 		name := r.URL.Query().Get(param)
 		if name == "" {
 			ri.fail(w, http.StatusBadRequest, "missing ?"+param+"=NODE")
@@ -505,19 +540,20 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *ser
 
 	mux.HandleFunc("/query", so.wrap("/query", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
+		g := idx.Graph()
 		sp := ri.trace.Start("resolve")
-		u, ok := node(w, r, "u", ri)
+		u, ok := node(w, r, g, "u", ri)
 		if !ok {
 			return
 		}
-		v, ok := node(w, r, "v", ri)
+		v, ok := node(w, r, g, "v", ri)
 		sp.End()
 		if !ok {
 			return
 		}
 		sp = ri.trace.Start("score")
 		score := idx.Query(u, v)
-		semScore := sem.Sim(u, v)
+		semScore := idx.Sem().Sim(u, v)
 		simrank := idx.SimRankQuery(u, v)
 		sp.End()
 		sp = ri.trace.Start("encode")
@@ -541,12 +577,13 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *ser
 
 	mux.HandleFunc("/explain", so.wrap("/explain", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
+		g := idx.Graph()
 		sp := ri.trace.Start("resolve")
-		u, ok := node(w, r, "u", ri)
+		u, ok := node(w, r, g, "u", ri)
 		if !ok {
 			return
 		}
-		v, ok := node(w, r, "v", ri)
+		v, ok := node(w, r, g, "v", ri)
 		sp.End()
 		if !ok {
 			return
@@ -575,8 +612,9 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *ser
 
 	mux.HandleFunc("/topk", so.wrap("/topk", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		t0 := time.Now()
+		g := idx.Graph()
 		sp := ri.trace.Start("resolve")
-		u, ok := node(w, r, "u", ri)
+		u, ok := node(w, r, g, "u", ri)
 		sp.End()
 		if !ok {
 			return
@@ -611,6 +649,102 @@ func newServeMux(g *semsim.Graph, sem semsim.Measure, idx *semsim.Index, so *ser
 			Backend:        idx.Backend(),
 			Strategy:       idx.PlanStrategy(k),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
+		})
+	}))
+
+	// Mutation batches serialize on mutateMu: every request then commits
+	// against the epoch it resolved names on, so the 409 path below is a
+	// belt-and-suspenders guard, not a steady-state outcome.
+	var mutateMu sync.Mutex
+	mux.HandleFunc("/mutate", so.wrap("/mutate", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+		if r.Method != http.MethodPost {
+			ri.fail(w, http.StatusMethodNotAllowed, "POST a JSON mutation batch")
+			return
+		}
+		var req struct {
+			Ops []mutateOp `json:"ops"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxMutateBody)).Decode(&req); err != nil {
+			ri.fail(w, http.StatusBadRequest, "bad mutation batch: "+err.Error())
+			return
+		}
+		if len(req.Ops) == 0 {
+			ri.fail(w, http.StatusBadRequest, "empty mutation batch")
+			return
+		}
+		mutateMu.Lock()
+		defer mutateMu.Unlock()
+		sp := ri.trace.Start("stage")
+		g := idx.Graph()
+		m := idx.NewMutator()
+		// Names minted by add_node ops resolve for later ops of the same
+		// batch, so a node and its wiring commit together.
+		minted := map[string]semsim.NodeID{}
+		resolve := func(name string) (semsim.NodeID, bool) {
+			if id, ok := minted[name]; ok {
+				return id, true
+			}
+			return g.NodeByName(name)
+		}
+		for i, op := range req.Ops {
+			switch op.Op {
+			case "add_edge", "remove_edge":
+				u, ok := resolve(op.From)
+				if !ok {
+					ri.fail(w, http.StatusNotFound, fmt.Sprintf("op %d: unknown node %q", i, op.From))
+					return
+				}
+				v, ok := resolve(op.To)
+				if !ok {
+					ri.fail(w, http.StatusNotFound, fmt.Sprintf("op %d: unknown node %q", i, op.To))
+					return
+				}
+				if op.Op == "add_edge" {
+					weight := op.Weight
+					if weight == 0 {
+						weight = 1
+					}
+					m.AddEdge(u, v, op.Label, weight)
+				} else {
+					m.RemoveEdge(u, v, op.Label)
+				}
+			case "add_node":
+				if op.Name == "" {
+					ri.fail(w, http.StatusBadRequest, fmt.Sprintf("op %d: add_node needs a name", i))
+					return
+				}
+				if id := m.AddNode(op.Name, op.Label); id >= 0 {
+					minted[op.Name] = id
+				}
+			case "update_concept_freq":
+				c, ok := resolve(op.Concept)
+				if !ok {
+					ri.fail(w, http.StatusNotFound, fmt.Sprintf("op %d: unknown concept %q", i, op.Concept))
+					return
+				}
+				m.UpdateConceptFreq(c, op.Freq)
+			default:
+				ri.fail(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown op %q", i, op.Op))
+				return
+			}
+		}
+		sp.End()
+		sp = ri.trace.Start("commit")
+		st, err := m.Commit()
+		sp.End()
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, semsim.ErrStaleMutator) {
+				status = http.StatusConflict
+			}
+			ri.fail(w, status, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{
+			"epoch":           st.Epoch,
+			"ops":             st.Ops,
+			"resampled_walks": st.ResampledWalks,
+			"new_nodes":       st.NewNodes,
 		})
 	}))
 

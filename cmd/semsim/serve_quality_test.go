@@ -34,7 +34,7 @@ func newTestMux(t *testing.T, qlog *quality.QueryLog) (*http.ServeMux, *semsim.M
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { idx.Close() })
-	return newServeMux(g, lin, idx, newServeObs(reg, qlog, nil, nil, nil, nil)), reg
+	return newServeMux(idx, newServeObs(reg, qlog, nil, nil, nil, nil)), reg
 }
 
 // TestServeErrorShapes: every endpoint rejects bad input with the shared

@@ -268,3 +268,144 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	}
 }
+
+// TestServeMutate drives the dynamic-graph surface end to end: a POST
+// /mutate batch (new node, wiring edges, an edge removal, a concept
+// reweight) commits one epoch, the new node becomes queryable by name,
+// the epoch gauge and commit metrics advance, and malformed batches map
+// to the documented status codes.
+func TestServeMutate(t *testing.T) {
+	g, lin := smokeGraph(t)
+	stop := make(chan struct{})
+	defer close(stop)
+	var logbuf bytes.Buffer
+	cfg := serveConfig{
+		debugAddr: "127.0.0.1:0",
+		warmup:    2,
+		opts: semsim.IndexOptions{
+			NumWalks: 80, WalkLength: 8, C: 0.6, Theta: 0.05,
+			SLINGCutoff: 0.1, Seed: 1,
+		},
+		stop: stop,
+		logw: &logbuf,
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- runServe(g, lin, cfg, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not come up within 30s")
+	}
+	base := "http://" + addr
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/mutate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /mutate: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("POST /mutate: invalid JSON response %q: %v", raw, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	// Before the mutation the new node must be unknown.
+	if resp, err := http.Get(base + "/query?u=gil&v=ada"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("pre-mutation query for gil: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	status, m := post(`{"ops": [
+		{"op": "add_node", "name": "gil", "label": "author"},
+		{"op": "add_edge", "from": "gil", "to": "ada", "label": "co-author", "weight": 1},
+		{"op": "add_edge", "from": "ada", "to": "gil", "label": "co-author", "weight": 1},
+		{"op": "remove_edge", "from": "ada", "to": "ben", "label": "co-author"},
+		{"op": "update_concept_freq", "concept": "Databases", "freq": 0.5}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("POST /mutate: status %d: %v", status, m)
+	}
+	if m["epoch"] != float64(1) || m["new_nodes"] != float64(1) {
+		t.Fatalf("unexpected commit stats: %v", m)
+	}
+
+	// The committed node answers queries by name on the new epoch.
+	resp, err := http.Get(base + "/query?u=gil&v=ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation query for gil: status %d: %s", resp.StatusCode, raw)
+	}
+	var qr map[string]any
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatalf("query response: %v", err)
+	}
+	if _, ok := qr["semsim"].(float64); !ok {
+		t.Fatalf("query response missing score: %s", raw)
+	}
+
+	// A second batch advances the epoch again.
+	if status, m = post(`{"ops": [{"op": "add_edge", "from": "gil", "to": "ben", "label": "co-author"}]}`); status != http.StatusOK || m["epoch"] != float64(2) {
+		t.Fatalf("second batch: status %d stats %v", status, m)
+	}
+
+	// Error mapping: unknown node 404, unknown op / empty batch 400,
+	// non-POST 405.
+	if status, _ = post(`{"ops": [{"op": "add_edge", "from": "nobody", "to": "ada", "label": "x"}]}`); status != http.StatusNotFound {
+		t.Errorf("unknown node: status %d, want 404", status)
+	}
+	if status, _ = post(`{"ops": [{"op": "frobnicate"}]}`); status != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", status)
+	}
+	if status, _ = post(`{"ops": []}`); status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", status)
+	}
+	resp, err = http.Get(base + "/mutate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /mutate: status %d, want 405", resp.StatusCode)
+	}
+
+	// The mutation surface is on the metrics page: epoch gauge at 2,
+	// commit counters moving, repair cost accounted.
+	metrics := func() string {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}()
+	for _, want := range []string{
+		"semsim_mutator_epoch 2",
+		"semsim_commit_total 2",
+		"semsim_commit_seconds_count 2",
+		`semsim_http_requests_total{endpoint="/mutate"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s after mutations", want)
+		}
+	}
+	if strings.Contains(metrics, "semsim_commit_walks_resampled_total 0\n") {
+		t.Error("commit resampled no walks despite touching connected nodes")
+	}
+}

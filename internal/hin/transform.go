@@ -98,6 +98,40 @@ func ChangedInNeighborhoods(old, new *Graph) ([]NodeID, error) {
 	return changed, nil
 }
 
+// ChangedInNeighborhoodsGrown is ChangedInNeighborhoods for a new graph
+// that may have MORE nodes than the old one (ids of shared nodes must be
+// stable, as they are when both graphs come from insertion-order
+// builders). Every new node is reported as changed, alongside any old
+// node whose in-neighborhood differs — including old nodes that gained a
+// new-node in-neighbor. Shrinking the node set is an error.
+func ChangedInNeighborhoodsGrown(old, new *Graph) ([]NodeID, error) {
+	if new.NumNodes() < old.NumNodes() {
+		return nil, fmt.Errorf("hin: node count shrank: %d vs %d", old.NumNodes(), new.NumNodes())
+	}
+	var changed []NodeID
+	for v := 0; v < old.NumNodes(); v++ {
+		id := NodeID(v)
+		oi, ni := old.InNeighbors(id), new.InNeighbors(id)
+		ow, nw := old.InWeights(id), new.InWeights(id)
+		ol, nl := old.InLabels(id), new.InLabels(id)
+		if len(oi) != len(ni) {
+			changed = append(changed, id)
+			continue
+		}
+		for i := range oi {
+			if oi[i] != ni[i] || ow[i] != nw[i] ||
+				old.LabelName(ol[i]) != new.LabelName(nl[i]) {
+				changed = append(changed, id)
+				break
+			}
+		}
+	}
+	for v := old.NumNodes(); v < new.NumNodes(); v++ {
+		changed = append(changed, NodeID(v))
+	}
+	return changed, nil
+}
+
 // FilterEdges rebuilds g keeping only edges for which keep returns true.
 // Node ids are preserved.
 func FilterEdges(g *Graph, keepEdge func(Edge) bool) (*Graph, error) {

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"net/http"
@@ -165,6 +166,7 @@ type testServer struct {
 	ready    atomic.Bool
 	hits     atomic.Int64
 	earlyAPI atomic.Int64 // API hits before ready
+	mutates  atomic.Int64 // accepted /mutate batches (also the epoch)
 	srv      *httptest.Server
 }
 
@@ -196,6 +198,26 @@ func newTestServer(delay time.Duration, status func(path string) int) *testServe
 	mux.HandleFunc("/query", api)
 	mux.HandleFunc("/topk", api)
 	mux.HandleFunc("/explain", api)
+	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		var batch struct {
+			Ops []map[string]any `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil || len(batch.Ops) == 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		code := http.StatusOK
+		if status != nil {
+			code = status("/mutate")
+		}
+		w.WriteHeader(code)
+		epoch := ts.mutates.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"epoch": epoch, "ops": len(batch.Ops)})
+	})
 	ts.srv = httptest.NewServer(mux)
 	return ts
 }
@@ -388,5 +410,83 @@ func TestRunnerValidation(t *testing.T) {
 		if _, err := NewRunner(opts); err == nil {
 			t.Errorf("case %d: NewRunner accepted %+v", i, opts)
 		}
+	}
+}
+
+// TestMutateTraffic: with MutateEvery set the runner drives POST
+// /mutate batches alongside the reads, counts committed batches and
+// reports the server's final epoch; read-side accounting is untouched.
+func TestMutateTraffic(t *testing.T) {
+	ts := newTestServer(0, nil)
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+
+	opts := testOptions(ts)
+	opts.MutateEvery = 20 * time.Millisecond
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mutations == 0 {
+		t.Fatal("background mutator committed no batches")
+	}
+	if rep.MutationFailures != 0 {
+		t.Fatalf("%d mutation batches failed", rep.MutationFailures)
+	}
+	// The shutdown cancel can race one last in-flight batch: the server
+	// may commit it without the client seeing the response. The epoch is
+	// still bounded by what both sides observed.
+	if rep.FinalEpoch < rep.Mutations || rep.FinalEpoch > ts.mutates.Load() {
+		t.Fatalf("final epoch %d outside [%d committed, %d server-side]",
+			rep.FinalEpoch, rep.Mutations, ts.mutates.Load())
+	}
+	if rep.Status5xx != 0 || rep.Errors != 0 {
+		t.Fatalf("read traffic disturbed by mutations: %+v", rep)
+	}
+	// Mutations are write traffic, not read traffic: they must not be
+	// folded into the request count or latency percentiles.
+	var epTotal int64
+	for _, ep := range rep.Endpoints {
+		epTotal += ep.Requests
+	}
+	if epTotal != rep.Requests {
+		t.Fatalf("per-endpoint sum %d != total %d", epTotal, rep.Requests)
+	}
+}
+
+// TestMutateFailuresCounted: a 5xx-answering /mutate endpoint shows up
+// in MutationFailures, not in the read-side 5xx count.
+func TestMutateFailuresCounted(t *testing.T) {
+	ts := newTestServer(0, func(path string) int {
+		if path == "/mutate" {
+			return http.StatusInternalServerError
+		}
+		return http.StatusOK
+	})
+	defer ts.srv.Close()
+	ts.ready.Store(true)
+
+	opts := testOptions(ts)
+	opts.MutateEvery = 20 * time.Millisecond
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MutationFailures == 0 {
+		t.Fatal("5xx mutate responses were not counted as failures")
+	}
+	if rep.Mutations != 0 {
+		t.Fatalf("%d batches counted as committed despite 5xx", rep.Mutations)
+	}
+	if rep.Status5xx != 0 {
+		t.Fatalf("mutate failures leaked into read-side 5xx: %+v", rep)
 	}
 }

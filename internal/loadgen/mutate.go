@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// mutateEdge is one edge the background mutator added and may later
+// remove, keeping the server's graph size roughly stable over a long
+// run instead of growing without bound.
+type mutateEdge struct {
+	From, To, Label string
+}
+
+// mutateLoop is the background write traffic: one POST /mutate batch
+// every opts.MutateEvery until the context is cancelled. Each batch
+// wires a fresh node into the graph with two co-purchase-style edges,
+// adds one edge between existing workload nodes, and — once enough
+// loadgen-created edges exist — removes the oldest one. The batches are
+// deterministic in the run seed, like the read workload.
+func (r *Runner) mutateLoop(ctx context.Context) {
+	label := r.opts.MutateLabel
+	if label == "" {
+		label = "co-purchase"
+	}
+	rng := rand.New(rand.NewSource(r.opts.Seed + 0x6d75))
+	nodes := r.opts.Workload.Nodes
+	var added []mutateEdge
+	seq := 0
+	tick := time.NewTicker(r.opts.MutateEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		pick := func() string { return nodes[rng.Intn(len(nodes))] }
+		name := fmt.Sprintf("loadgen-%d-%d", r.opts.Seed, seq)
+		seq++
+		anchor, from, to := pick(), pick(), pick()
+		ops := []map[string]any{
+			{"op": "add_node", "name": name, "label": "item"},
+			{"op": "add_edge", "from": anchor, "to": name, "label": label, "weight": 1.0},
+			{"op": "add_edge", "from": name, "to": anchor, "label": label, "weight": 1.0},
+			{"op": "add_edge", "from": from, "to": to, "label": label, "weight": 0.5 + rng.Float64()},
+		}
+		added = append(added, mutateEdge{From: from, To: to, Label: label})
+		if len(added) > 8 {
+			old := added[0]
+			added = added[1:]
+			ops = append(ops, map[string]any{
+				"op": "remove_edge", "from": old.From, "to": old.To, "label": old.Label,
+			})
+		}
+		body, err := json.Marshal(map[string]any{"ops": ops})
+		if err != nil {
+			r.mutateFails.Add(1)
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			r.opts.BaseURL+"/mutate", bytes.NewReader(body))
+		if err != nil {
+			r.mutateFails.Add(1)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				r.mutateFails.Add(1)
+			}
+			continue
+		}
+		var st struct {
+			Epoch int64 `json:"epoch"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			r.mutateFails.Add(1)
+			continue
+		}
+		r.mutations.Add(1)
+		r.finalEpoch.Store(st.Epoch)
+	}
+}

@@ -51,6 +51,15 @@ type Options struct {
 	// ReadyTimeout bounds the initial /healthz readiness wait.
 	// Default 60s.
 	ReadyTimeout time.Duration
+
+	// MutateEvery, when positive, runs background write traffic
+	// alongside the read workload: one POST /mutate batch at this
+	// cadence (new node wired in, an extra edge, eventually a removal),
+	// exercising the server's epoch-snapshot commit path under load.
+	// Zero disables. MutateLabel is the edge label the batches use
+	// (default "co-purchase").
+	MutateEvery time.Duration
+	MutateLabel string
 }
 
 // EndpointStats is the per-endpoint slice of the report.
@@ -80,6 +89,14 @@ type Report struct {
 	Errors    int64 `json:"transport_errors"`
 	Dropped   int64 `json:"dropped"`
 
+	// Mutations counts committed /mutate batches of the background
+	// mutator (MutateEvery > 0); MutationFailures its non-200 or
+	// transport-failed batches; FinalEpoch the server epoch the last
+	// successful commit reported.
+	Mutations        int64 `json:"mutations,omitempty"`
+	MutationFailures int64 `json:"mutation_failures,omitempty"`
+	FinalEpoch       int64 `json:"final_epoch,omitempty"`
+
 	Latency   LatencyStats              `json:"latency"`
 	Endpoints map[string]*EndpointStats `json:"endpoints"`
 }
@@ -97,6 +114,10 @@ type Runner struct {
 	errors    atomic.Int64
 	dropped   atomic.Int64
 	measuring atomic.Bool
+
+	mutations   atomic.Int64
+	mutateFails atomic.Int64
+	finalEpoch  atomic.Int64
 }
 
 // NewRunner validates opts and prepares a runner.
@@ -222,12 +243,23 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err := r.WaitReady(ctx); err != nil {
 		return nil, err
 	}
+	stopMutator := func() {}
+	if r.opts.MutateEvery > 0 {
+		mctx, mcancel := context.WithCancel(ctx)
+		mdone := make(chan struct{})
+		go func() {
+			defer close(mdone)
+			r.mutateLoop(mctx)
+		}()
+		stopMutator = func() { mcancel(); <-mdone }
+	}
 	if r.opts.Warmup > 0 {
 		r.measuring.Store(false)
 		r.runPhase(ctx, r.opts.Warmup)
 	}
 	r.measuring.Store(true)
 	elapsed := r.runPhase(ctx, r.opts.Duration)
+	stopMutator()
 	if err := ctx.Err(); err != nil && elapsed < r.opts.Duration/2 {
 		return nil, err
 	}
@@ -243,8 +275,13 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		Status5xx:    r.status5xx.Load(),
 		Errors:       r.errors.Load(),
 		Dropped:      r.dropped.Load(),
-		Latency:      r.rec.Stats(),
-		Endpoints:    map[string]*EndpointStats{},
+
+		Mutations:        r.mutations.Load(),
+		MutationFailures: r.mutateFails.Load(),
+		FinalEpoch:       r.finalEpoch.Load(),
+
+		Latency:   r.rec.Stats(),
+		Endpoints: map[string]*EndpointStats{},
 	}
 	if r.opts.OpenLoop {
 		rep.Mode = "open"

@@ -1,0 +1,158 @@
+package mc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semsim/internal/core/pairkey"
+	"semsim/internal/hin"
+	"semsim/internal/pairgraph"
+	"semsim/internal/semantic"
+)
+
+// Invalidation and migration: the eviction paths the dynamic-graph
+// mutation flow needs. Map-mode entries are simply deleted (the lazy
+// fill recomputes them on the next probe); the dense table has no
+// "absent cell" representation, so dense-mode invalidation recomputes
+// the listed cells into a copy-on-write table and republishes it —
+// concurrent probes see either the complete old table or the complete
+// new one, never a torn row.
+
+// InvalidateAll drops every cached value. In map mode the shard maps are
+// cleared; in dense mode the flat table is unpublished, so probes fall
+// back to the (now empty) striped maps until the caller re-warms with
+// EnableDense. Hit/miss counters are preserved — they describe traffic,
+// not contents — and Summary's entry count is coherent immediately.
+func (c *SOCache) InvalidateAll() {
+	c.dense.Store(nil)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.vals)
+		sh.mu.Unlock()
+	}
+}
+
+// InvalidatePairs evicts the given pairs (canonicalized internally). In
+// map mode the entries are deleted and recomputed lazily on next probe;
+// in dense mode the affected cells are recomputed eagerly against the
+// cache's current graph and measure and the table is atomically
+// republished. Safe for concurrent use with SO probes.
+func (c *SOCache) InvalidatePairs(pairs [][2]hin.NodeID) {
+	if len(pairs) == 0 {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, p := range pairs {
+			delete(sh.vals, pairkey.Key(p[0], p[1]))
+		}
+		sh.mu.Unlock()
+	}
+	d := c.dense.Load()
+	if d == nil {
+		return
+	}
+	nd := &soDense{vals: make([]float64, len(d.vals)), rowOff: d.rowOff, n: d.n}
+	copy(nd.vals, d.vals)
+	for _, p := range pairs {
+		a, b := pairkey.Canonical(p[0], p[1])
+		if int(b) >= d.n {
+			continue
+		}
+		nd.vals[nd.rowOff[a]+int64(b)] = pairgraph.SO(c.g, c.sem, a, b)
+	}
+	c.dense.Store(nd)
+}
+
+// Migrate builds the successor cache for an updated graph (and possibly
+// updated measure), reusing every stored value whose pair is unaffected:
+// SO(a,b) depends only on the in-neighborhoods of a and b and the
+// measure over their in-neighbor pairs, so a pair with neither endpoint
+// in changed carries over bit-identically. changed is indexed by
+// new-graph node id (new nodes are changed by construction). The measure
+// must be value-compatible with the old one on unchanged concept pairs —
+// when the semantic measure itself changed (e.g. an IC update), callers
+// must start from a fresh NewSOCache instead, because sem leaks into
+// every stored normalization.
+//
+// Dense mode migrates to a dense table of the new size: unaffected rows
+// are copied, affected cells (changed endpoint or new node) are
+// recomputed in parallel. The receiver is never mutated.
+func (c *SOCache) Migrate(newG *hin.Graph, newSem semantic.Measure, changed []bool, workers int) *SOCache {
+	out := NewSOCache(newG, newSem, c.cutoff)
+	n2 := newG.NumNodes()
+
+	// Map mode: carry over unaffected entries shard by shard.
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.vals {
+			a, b := hin.NodeID(k>>32), hin.NodeID(uint32(k))
+			if int(b) < n2 && !changed[a] && !changed[b] {
+				out.shards[i].vals[k] = v
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	d := c.dense.Load()
+	if d == nil {
+		return out
+	}
+	cells := int64(n2) * int64(n2+1) / 2
+	nd := &soDense{vals: make([]float64, cells), rowOff: make([]int64, n2), n: n2}
+	off := int64(0)
+	for a := 0; a < n2; a++ {
+		nd.rowOff[a] = off - int64(a)
+		off += int64(n2 - a)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n2 {
+		workers = n2
+	}
+	migrateRow := func(a int) {
+		row := nd.vals[nd.rowOff[a]:]
+		if !changed[a] && a < d.n {
+			oldRow := d.vals[d.rowOff[a]:]
+			copy(row[a:d.n], oldRow[a:d.n])
+			for v := a; v < n2; v++ {
+				if v >= d.n || changed[v] {
+					row[v] = pairgraph.SO(newG, newSem, hin.NodeID(a), hin.NodeID(v))
+				}
+			}
+			return
+		}
+		for v := a; v < n2; v++ {
+			row[v] = pairgraph.SO(newG, newSem, hin.NodeID(a), hin.NodeID(v))
+		}
+	}
+	if workers <= 1 {
+		for a := 0; a < n2; a++ {
+			migrateRow(a)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					a := int(next.Add(1)) - 1
+					if a >= n2 {
+						return
+					}
+					migrateRow(a)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out.dense.Store(nd)
+	return out
+}

@@ -60,6 +60,12 @@ type ShadowConfig struct {
 type shadowSample struct {
 	u, v  hin.NodeID
 	score float64
+	// scorer, when non-nil, overrides the configured reference scorer
+	// for this sample (OfferWith). An epoch-snapshot facade pins each
+	// sample to the scorer of the epoch that produced the estimate, so
+	// samples queued across a commit are never verified against a
+	// different graph's reference.
+	scorer func(u, v hin.NodeID) (float64, error)
 }
 
 // Shadow re-scores a sampled fraction of live queries on a reference
@@ -168,6 +174,24 @@ func (s *Shadow) Offer(u, v hin.NodeID, score float64) {
 	}
 }
 
+// OfferWith is Offer with a per-sample reference scorer: the sample is
+// verified against scorer instead of the configured one. Callers pass a
+// func value built once per epoch (not a fresh closure per call) to
+// keep the hot path allocation-free.
+func (s *Shadow) OfferWith(u, v hin.NodeID, score float64, scorer func(u, v hin.NodeID) (float64, error)) {
+	if s == nil {
+		return
+	}
+	if s.offered.Add(1)%s.rate != 0 {
+		return
+	}
+	select {
+	case s.queue <- shadowSample{u: u, v: v, score: score, scorer: scorer}:
+	default:
+		s.dropped.Inc()
+	}
+}
+
 // Close stops the worker after draining already-queued samples. Safe to
 // call on nil; must not race with Offer senders that are mid-send
 // (the facade stops routing queries before closing).
@@ -199,7 +223,11 @@ func (s *Shadow) run() {
 }
 
 func (s *Shadow) verify(smp shadowSample) {
-	ref, err := s.scorer(smp.u, smp.v)
+	scorer := smp.scorer
+	if scorer == nil {
+		scorer = s.scorer
+	}
+	ref, err := scorer(smp.u, smp.v)
 	if err != nil {
 		s.errors.Inc()
 		return

@@ -1,0 +1,161 @@
+package semantic
+
+import (
+	"semsim/internal/hin"
+	"semsim/internal/taxonomy"
+)
+
+// RebindTaxonomy returns a copy of m bound to tax when m is one of the
+// stock taxonomy-backed measures (Lin, Resnik, Wu–Palmer,
+// Jiang–Conrath, Path). ok reports whether the returned measure
+// observes tax; for taxonomy-free measures (Uniform, Func, arbitrary
+// user measures) the original measure is returned with ok = false and
+// the caller decides whether that is acceptable for the mutation at
+// hand.
+func RebindTaxonomy(m Measure, tax *taxonomy.Taxonomy) (Measure, bool) {
+	switch mm := m.(type) {
+	case Lin:
+		mm.Tax = tax
+		return mm, true
+	case Resnik:
+		mm.Tax = tax
+		return mm, true
+	case WuPalmer:
+		mm.Tax = tax
+		return mm, true
+	case JiangConrath:
+		mm.Tax = tax
+		return mm, true
+	case Path:
+		mm.Tax = tax
+		return mm, true
+	}
+	return m, false
+}
+
+// TaxonomyOf returns the taxonomy a stock measure is bound to, with ok
+// = false for taxonomy-free or custom measures.
+func TaxonomyOf(m Measure) (*taxonomy.Taxonomy, bool) {
+	switch mm := m.(type) {
+	case Lin:
+		return mm.Tax, mm.Tax != nil
+	case Resnik:
+		return mm.Tax, mm.Tax != nil
+	case WuPalmer:
+		return mm.Tax, mm.Tax != nil
+	case JiangConrath:
+		return mm.Tax, mm.Tax != nil
+	case Path:
+		return mm.Tax, mm.Tax != nil
+	}
+	return nil, false
+}
+
+// Refresh derives the kernel for an updated base measure over the
+// (possibly larger) node domain [0, n2), reusing every precomputed
+// value that the update cannot have touched. affectedNode[v] marks
+// nodes whose semantic values may differ under the new measure (for an
+// IC update at concept x that is every node in x's subtree; new nodes
+// past the old domain are affected by construction and need not be
+// marked). The result is bit-identical to NewKernel(base, n2, opts):
+//
+//   - if the concept-class partition of the old domain changed (e.g. an
+//     IC update split or merged leaf classes), everything is rebuilt
+//     fresh;
+//   - otherwise dense cells with both classes unaffected are copied and
+//     the rest recomputed from the same representatives a fresh build
+//     would pick, and memo entries with both classes unaffected carry
+//     over while the rest refill lazily.
+//
+// The receiver is never mutated, so the old snapshot keeps serving its
+// epoch's values.
+func (k *Kernel) Refresh(base Measure, n2 int, affectedNode []bool, opts KernelOptions) (*Kernel, error) {
+	if base == nil || n2 < k.n || len(affectedNode) < k.n {
+		return NewKernel(base, n2, opts)
+	}
+	class2, nc2 := conceptClasses(base, n2)
+	for v := 0; v < k.n; v++ {
+		if class2[v] != k.class[v] {
+			// Partition drifted: reuse would mix epochs. Rebuild.
+			return NewKernel(base, n2, opts)
+		}
+	}
+
+	affectedClass := make([]bool, nc2)
+	for v := 0; v < n2; v++ {
+		if v >= k.n || affectedNode[v] {
+			affectedClass[class2[v]] = true
+		}
+	}
+
+	nk := &Kernel{base: base, n: n2, class: class2, nClasses: nc2,
+		hits: k.hits, misses: k.misses}
+	budget := opts.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultKernelBudget
+	}
+	nc := int64(nc2)
+	cells := nc * (nc + 1) / 2
+	wantDense := cells*8 <= budget
+	if wantDense != (k.dense != nil) {
+		// Mode flip (class growth crossed the budget): nothing to reuse.
+		return NewKernel(base, n2, opts)
+	}
+
+	if wantDense {
+		nk.rowOff = make([]int64, nc2)
+		var off int64
+		for a := 0; a < nc2; a++ {
+			nk.rowOff[a] = off - int64(a)
+			off += int64(nc2 - a)
+		}
+		nk.dense = make([]float64, off)
+		rep, rep2 := nk.representatives()
+		oldNC := k.nClasses
+		for a := 0; a < nc2; a++ {
+			row := nk.dense[nk.rowOff[a]:]
+			u := hin.NodeID(rep[a])
+			copyRow := a < oldNC && !affectedClass[a]
+			if copyRow {
+				copy(row[a:oldNC], k.dense[k.rowOff[a]+int64(a):k.rowOff[a]+int64(oldNC)])
+			}
+			if !copyRow {
+				if rep2[a] >= 0 {
+					row[a] = nk.base.Sim(u, hin.NodeID(rep2[a]))
+				} else {
+					row[a] = 1
+				}
+			}
+			for b := a + 1; b < nc2; b++ {
+				if copyRow && b < oldNC && !affectedClass[b] {
+					continue
+				}
+				row[b] = nk.base.Sim(u, hin.NodeID(rep[b]))
+			}
+		}
+	} else {
+		nk.memo = &kernelMemo{}
+		for i := range nk.memo.shards {
+			nk.memo.shards[i].vals = make(map[uint64]float64)
+		}
+		for i := range k.memo.shards {
+			sh := &k.memo.shards[i]
+			sh.mu.RLock()
+			for key, val := range sh.vals {
+				a, b := int32(key>>32), int32(uint32(key))
+				if !affectedClass[a] && !affectedClass[b] {
+					nk.memo.shards[i].vals[key] = val
+				}
+			}
+			sh.mu.RUnlock()
+		}
+	}
+
+	opts.Metrics.Gauge("semsim_kernel_mode",
+		"semantic-kernel mode: 1 = dense precomputed matrix, 2 = sharded memo cache").Set(int64(nk.modeCode()))
+	opts.Metrics.Gauge("semsim_kernel_classes",
+		"distinct concept classes after collapsing interchangeable taxonomy leaves").Set(nc)
+	opts.Metrics.Gauge("semsim_kernel_bytes",
+		"storage of the kernel's class map plus dense matrix").Set(nk.MemoryBytes())
+	return nk, nil
+}

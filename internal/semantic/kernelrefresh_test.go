@@ -1,0 +1,193 @@
+package semantic
+
+import (
+	"math/rand"
+	"testing"
+
+	"semsim/internal/hin"
+	"semsim/internal/taxonomy"
+)
+
+// randomTaxonomy builds a FromParents taxonomy over n graph concepts:
+// the first internal nodes form a chain of topics, the rest are instance
+// leaves hanging off random topics (so leaf collapsing has real classes).
+func chainTaxonomy(t *testing.T, seed int64, n, topics int) *taxonomy.Taxonomy {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	parents := make([]int32, n)
+	for v := 0; v < topics; v++ {
+		parents[v] = int32(v) - 1 // topic chain, topic 0 under the root
+	}
+	for v := topics; v < n; v++ {
+		parents[v] = int32(rng.Intn(topics))
+	}
+	tax, err := taxonomy.FromParents(parents, taxonomy.Options{})
+	if err != nil {
+		t.Fatalf("FromParents: %v", err)
+	}
+	return tax
+}
+
+// affectedBySubtree marks every graph node in concept x's subtree — the
+// invalidation set of an IC update at x.
+func affectedBySubtree(tax *taxonomy.Taxonomy, n int, x int32) []bool {
+	aff := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if tax.IsAncestor(x, int32(v)) {
+			aff[v] = true
+		}
+	}
+	return aff
+}
+
+// TestKernelRefreshICUpdate is the dynamic-graph invalidation property
+// test: updating one concept's IC and refreshing the kernel must be
+// bit-identical, on every pair, to building a fresh kernel on the
+// updated taxonomy — in dense-matrix and striped-memo modes both.
+func TestKernelRefreshICUpdate(t *testing.T) {
+	const n, topics = 40, 8
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{
+		{"dense", 0},
+		{"memo", 16}, // too small for any matrix: forces the memo path
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			tax := chainTaxonomy(t, 31, n, topics)
+			base := Lin{Tax: tax}
+			k, err := NewKernel(base, n, KernelOptions{MemoryBudget: mode.budget})
+			if err != nil {
+				t.Fatalf("NewKernel: %v", err)
+			}
+			if (mode.name == "dense") != k.DenseMode() {
+				t.Fatalf("mode = %s, want %s", k.Mode(), mode.name)
+			}
+			// A run of random single-concept IC updates, refreshing the
+			// running kernel each time and re-checking against fresh.
+			for step := 0; step < 5; step++ {
+				x := int32(rng.Intn(topics))
+				newTax := tax.WithIC(map[int32]float64{x: 0.05 + 0.9*rng.Float64()})
+				newBase := Lin{Tax: newTax}
+				ref, err := k.Refresh(newBase, n, affectedBySubtree(newTax, n, x),
+					KernelOptions{MemoryBudget: mode.budget})
+				if err != nil {
+					t.Fatalf("Refresh: %v", err)
+				}
+				fresh, err := NewKernel(newBase, n, KernelOptions{MemoryBudget: mode.budget})
+				if err != nil {
+					t.Fatalf("NewKernel: %v", err)
+				}
+				for u := 0; u < n; u++ {
+					for v := u; v < n; v++ {
+						got := ref.Sim(hin.NodeID(u), hin.NodeID(v))
+						want := fresh.Sim(hin.NodeID(u), hin.NodeID(v))
+						if got != want {
+							t.Fatalf("step %d: refreshed Sim(%d,%d) = %v, fresh = %v",
+								step, u, v, got, want)
+						}
+					}
+				}
+				tax, k = newTax, ref
+			}
+		})
+	}
+}
+
+// TestKernelRefreshGrow: growing the domain (new instance leaves under
+// the root) must also match a fresh build bit-for-bit.
+func TestKernelRefreshGrow(t *testing.T) {
+	const n, topics, k = 30, 6, 5
+	tax := chainTaxonomy(t, 41, n, topics)
+	base := Lin{Tax: tax}
+	kern, err := NewKernel(base, n, KernelOptions{})
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	grown := tax.Grow(k)
+	if grown.NumConcepts() != n+k+1 {
+		t.Fatalf("grown concepts = %d, want %d", grown.NumConcepts(), n+k+1)
+	}
+	newBase := Lin{Tax: grown}
+	ref, err := kern.Refresh(newBase, n+k, make([]bool, n+k), KernelOptions{})
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	fresh, err := NewKernel(newBase, n+k, KernelOptions{})
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	for u := 0; u < n+k; u++ {
+		for v := u; v < n+k; v++ {
+			got := ref.Sim(hin.NodeID(u), hin.NodeID(v))
+			want := fresh.Sim(hin.NodeID(u), hin.NodeID(v))
+			if got != want {
+				t.Fatalf("grown Sim(%d,%d) = %v, fresh = %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestTaxonomyCOW: WithIC and Grow must never disturb the receiver.
+func TestTaxonomyCOW(t *testing.T) {
+	tax := chainTaxonomy(t, 51, 20, 4)
+	before := make([]float64, 21)
+	for v := range before {
+		before[v] = tax.IC(int32(v))
+	}
+	upd := tax.WithIC(map[int32]float64{2: 0.42})
+	if upd.IC(2) != 0.42 {
+		t.Fatalf("WithIC(2) = %v, want 0.42", upd.IC(2))
+	}
+	for v := range before {
+		if tax.IC(int32(v)) != before[v] {
+			t.Fatalf("WithIC mutated receiver IC(%d)", v)
+		}
+	}
+	g := tax.Grow(3)
+	if tax.NumConcepts() != 21 || g.NumConcepts() != 24 {
+		t.Fatalf("concept counts: old %d new %d", tax.NumConcepts(), g.NumConcepts())
+	}
+	for v := 0; v < 20; v++ {
+		if g.IC(int32(v)) != tax.IC(int32(v)) || g.Depth(int32(v)) != tax.Depth(int32(v)) {
+			t.Fatalf("Grow changed node %d", v)
+		}
+	}
+	for v := 20; v < 23; v++ {
+		if g.IC(int32(v)) != 1 || g.Parent(int32(v)) != g.Root() {
+			t.Fatalf("new concept %d: ic=%v parent=%d", v, g.IC(int32(v)), g.Parent(int32(v)))
+		}
+	}
+	// LCA on the grown tree is total and consistent with ancestry.
+	for u := int32(0); u < 23; u++ {
+		for v := u; v < 23; v++ {
+			a := g.LCA(u, v)
+			if !g.IsAncestor(a, u) || !g.IsAncestor(a, v) {
+				t.Fatalf("LCA(%d,%d) = %d is not a common ancestor", u, v, a)
+			}
+		}
+	}
+}
+
+// TestRebindTaxonomy covers every stock measure plus the fallback.
+func TestRebindTaxonomy(t *testing.T) {
+	tax := chainTaxonomy(t, 61, 10, 3)
+	tax2 := tax.WithIC(map[int32]float64{1: 0.9})
+	for _, m := range []Measure{Lin{Tax: tax}, Resnik{Tax: tax}, WuPalmer{Tax: tax},
+		JiangConrath{Tax: tax}, Path{Tax: tax}} {
+		re, ok := RebindTaxonomy(m, tax2)
+		if !ok {
+			t.Fatalf("%s: not rebindable", m.Name())
+		}
+		if re.Name() != m.Name() {
+			t.Fatalf("rebind changed measure kind: %s -> %s", m.Name(), re.Name())
+		}
+	}
+	if _, ok := RebindTaxonomy(Uniform{}, tax2); ok {
+		t.Fatal("Uniform claimed to observe a taxonomy")
+	}
+	if _, ok := RebindTaxonomy(Func{N: "f", F: func(u, v hin.NodeID) float64 { return 1 }}, tax2); ok {
+		t.Fatal("Func claimed to observe a taxonomy")
+	}
+}

@@ -1,0 +1,74 @@
+package taxonomy
+
+// Copy-on-write derivations for the dynamic-graph mutation flow. A
+// Taxonomy is immutable once published inside an index snapshot, so
+// in-place SetIC would leak new values into old epochs; WithIC and Grow
+// instead return successors that share every unchanged table.
+
+// WithIC returns a copy of t with the given IC overrides applied
+// (clamped into (0,1] exactly like SetIC). All structural tables —
+// parents, depths, descendant counts, the LCA index — are shared with
+// the receiver; only the IC array is fresh, so the receiver's values
+// are never disturbed.
+func (t *Taxonomy) WithIC(updates map[int32]float64) *Taxonomy {
+	nt := *t
+	nt.ic = make([]float64, len(t.ic))
+	copy(nt.ic, t.ic)
+	for v, val := range updates {
+		if v >= 0 && int(v) < nt.n {
+			nt.SetIC(v, val)
+		}
+	}
+	return &nt
+}
+
+// Grow returns a taxonomy covering k additional graph concepts, each
+// attached to the virtual root as an instance leaf with IC = 1 (the
+// natural value for fresh instances, Example 2.2). Existing concept ids
+// and their IC values are preserved verbatim — intrinsic ICs are NOT
+// recomputed for the larger concept count, because Seco's formula is
+// global in N and recomputing would silently shift every stored value
+// across an epoch boundary; callers that want updated ICs push them
+// explicitly (WithIC / the facade's UpdateConceptFreq). The virtual
+// root moves from id oldN to oldN+k in graph-node terms; new concepts
+// take the ids in between, matching the builder's insertion order.
+func (t *Taxonomy) Grow(k int) *Taxonomy {
+	if k <= 0 {
+		return t
+	}
+	oldRoot := t.root
+	n2 := t.n + k
+	nt := &Taxonomy{n: n2, root: int32(n2 - 1), brokenCycles: t.brokenCycles}
+
+	nt.parent = make([]int32, n2)
+	copy(nt.parent, t.parent[:oldRoot])
+	for v := int(oldRoot); v < n2-1; v++ {
+		nt.parent[v] = nt.root
+	}
+	nt.parent[nt.root] = -1
+	for v := int32(0); v < oldRoot; v++ {
+		if nt.parent[v] == oldRoot {
+			nt.parent[v] = nt.root
+		}
+	}
+
+	nt.depth = make([]int32, n2)
+	copy(nt.depth, t.depth[:oldRoot])
+	for v := int(oldRoot); v < n2-1; v++ {
+		nt.depth[v] = 1
+	}
+
+	nt.descendants = make([]int32, n2)
+	copy(nt.descendants, t.descendants[:oldRoot])
+	nt.descendants[nt.root] = t.descendants[oldRoot] + int32(k)
+
+	nt.ic = make([]float64, n2)
+	copy(nt.ic, t.ic[:oldRoot])
+	for v := int(oldRoot); v < n2-1; v++ {
+		nt.ic[v] = 1
+	}
+	nt.ic[nt.root] = t.ic[oldRoot]
+
+	nt.lca = buildLCA(nt.parent, nt.depth, nt.root)
+	return nt
+}

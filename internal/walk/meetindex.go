@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -134,6 +135,139 @@ func buildMeetIndex(ix *Index, workers int) *MeetIndex {
 	}
 	wg.Wait()
 	return m
+}
+
+// Repair derives the meet index of newIx from an existing meet index by
+// patching only the contributions of touched sources: entries of
+// untouched sources are carried over, old entries of touched sources are
+// dropped, and the touched sources' new walks are merged back in. The
+// result is byte-identical to BuildMeetIndex(newIx) — same offsets, same
+// per-cell (source, walk) entry order — at O(entries) copy cost instead
+// of a full counting pass over every source, which is what makes small
+// commits cheap. newIx is typically the output of Index.Refresh and
+// touched its RefreshStats.Touched table; newIx may have more nodes than
+// the old index (growth appends cells per step). The receiver is not
+// mutated, so the old snapshot's meet index keeps serving.
+func (m *MeetIndex) Repair(newIx *Index, touched []bool) (*MeetIndex, error) {
+	old := m.ix
+	if newIx.nw != old.nw || newIx.stride != old.stride {
+		return nil, fmt.Errorf("walk: repair dimensions differ (nw %d->%d, stride %d->%d)",
+			old.nw, newIx.nw, old.stride, newIx.stride)
+	}
+	if newIx.n < old.n || len(touched) != newIx.n {
+		return nil, fmt.Errorf("walk: repair node count %d -> %d with %d touched flags",
+			old.n, newIx.n, len(touched))
+	}
+	n, n2 := old.n, newIx.n
+	steps := newIx.stride
+	cells2 := n2 * steps
+
+	// Per-cell add (touched sources' new walks) and sub (touched sources'
+	// old walks) counts, in the NEW cell space.
+	add := make([]int32, cells2)
+	sub := make([]int32, cells2)
+	for v := 0; v < n2; v++ {
+		if !touched[v] {
+			continue
+		}
+		for i := 0; i < newIx.nw; i++ {
+			wk := newIx.Walk(hin.NodeID(v), i)
+			l := newIx.WalkLen(hin.NodeID(v), i)
+			for s := 0; s < l; s++ {
+				add[s*n2+int(wk[s])]++
+			}
+		}
+		if v >= n {
+			continue
+		}
+		for i := 0; i < old.nw; i++ {
+			wk := old.Walk(hin.NodeID(v), i)
+			l := old.WalkLen(hin.NodeID(v), i)
+			for s := 0; s < l; s++ {
+				sub[s*n2+int(wk[s])]++
+			}
+		}
+	}
+
+	out := &MeetIndex{ix: newIx, offsets: make([]int32, cells2+1)}
+	total := int32(0)
+	for c2 := 0; c2 < cells2; c2++ {
+		out.offsets[c2] = total
+		s, v := c2/n2, c2%n2
+		oldCount := int32(0)
+		if v < n {
+			c1 := s*n + v
+			oldCount = m.offsets[c1+1] - m.offsets[c1]
+		}
+		total += oldCount - sub[c2] + add[c2]
+	}
+	out.offsets[cells2] = total
+	out.entries = make([]Slot, total)
+
+	// Mini inverted index over only the touched sources' new walks. The
+	// fill iterates sources (then walks) in ascending order, so each
+	// cell's run is already in global (source, walk) order.
+	patchOff := make([]int32, cells2+1)
+	pt := int32(0)
+	for c := 0; c < cells2; c++ {
+		patchOff[c] = pt
+		pt += add[c]
+		add[c] = patchOff[c] // reuse as fill cursor
+	}
+	patchOff[cells2] = pt
+	patch := make([]Slot, pt)
+	for v := 0; v < n2; v++ {
+		if !touched[v] {
+			continue
+		}
+		for i := 0; i < newIx.nw; i++ {
+			wk := newIx.Walk(hin.NodeID(v), i)
+			l := newIx.WalkLen(hin.NodeID(v), i)
+			for s := 0; s < l; s++ {
+				c := s*n2 + int(wk[s])
+				patch[add[c]] = Slot{Source: hin.NodeID(v), Walk: int32(i)}
+				add[c]++
+			}
+		}
+	}
+
+	// Per-cell merge: old entries minus touched sources, merged with the
+	// patch run. Both inputs are sorted by (source, walk) and their
+	// source sets are disjoint (patch sources are touched, kept old
+	// entries are not), so a strict-less merge reproduces the canonical
+	// order exactly.
+	for c2 := 0; c2 < cells2; c2++ {
+		s, v := c2/n2, c2%n2
+		var oldEnts []Slot
+		if v < n {
+			c1 := s*n + v
+			oldEnts = m.entries[m.offsets[c1]:m.offsets[c1+1]]
+		}
+		p := patch[patchOff[c2]:patchOff[c2+1]]
+		dst := out.entries[out.offsets[c2]:out.offsets[c2+1]]
+		k, pi := 0, 0
+		for _, e := range oldEnts {
+			if touched[e.Source] {
+				continue
+			}
+			for pi < len(p) && (p[pi].Source < e.Source ||
+				(p[pi].Source == e.Source && p[pi].Walk < e.Walk)) {
+				dst[k] = p[pi]
+				k++
+				pi++
+			}
+			dst[k] = e
+			k++
+		}
+		for ; pi < len(p); pi++ {
+			dst[k] = p[pi]
+			k++
+		}
+		if k != len(dst) {
+			return nil, fmt.Errorf("walk: repair cell %d filled %d of %d entries", c2, k, len(dst))
+		}
+	}
+	return out, nil
 }
 
 // At returns the slots whose walk visits node at the given step (aliased,

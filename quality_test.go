@@ -187,7 +187,7 @@ func TestShadowQueryAllocFree(t *testing.T) {
 // warmKernel touches every pair once so lazy layers (kernel memo,
 // SLING cache) are populated before an allocation measurement.
 func warmKernel(idx *Index) error {
-	n := idx.g.NumNodes()
+	n := idx.Graph().NumNodes()
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			idx.Query(NodeID(u), NodeID(v))

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"semsim/internal/engine"
 	"semsim/internal/mc"
@@ -171,20 +173,50 @@ func Backends() []string { return engine.Names() }
 // Query, TopK, TopKSemBounded, SingleSource, BatchQuery and SimRankQuery
 // on a shared Index, including when the SLING cache is enabled (the
 // cache is sharded with striped locks). The parallel results are
-// identical to serial ones. Only construction (BuildIndex / LoadIndex)
-// and SaveWalks are single-threaded operations.
+// identical to serial ones.
+//
+// The index is organized as an immutable epoch snapshot behind an
+// atomic pointer: every query loads the current snapshot once and runs
+// entirely on it, so graph mutations (NewMutator / Commit) never block
+// readers and never produce torn reads — a query started before a
+// commit finishes with answers bit-identical to the pre-commit epoch.
+// Only SaveWalks remains a single-threaded operation with respect to
+// commits.
 type Index struct {
+	snap    atomic.Pointer[snapshot]
+	metrics *Metrics
+	shadow  *quality.Shadow
+	// opts and baseSem are what commits re-assemble successors from:
+	// the original build options and the raw (pre-kernel) measure.
+	opts    IndexOptions
+	baseSem Measure
+	// mu serializes Mutator commits; queries never take it.
+	mu sync.Mutex
+}
+
+// snapshot is one immutable epoch of the index: every read-only
+// structure a query touches — graph, walk index, SLING cache, semantic
+// kernel, meet index, planner and engine backend — published together
+// behind Index.snap. A commit assembles a full successor off to the
+// side and swaps the pointer; the old epoch keeps serving in-flight
+// queries until its last reader drops it.
+type snapshot struct {
+	epoch   uint64
 	g       *Graph
+	sem     Measure // post-kernel measure this epoch scores with
 	walks   *walk.Index
 	est     *mc.Estimator
 	srmc    *simrank.MC
 	cache   *mc.SOCache
 	meet    *walk.MeetIndex
-	metrics *Metrics
 	eng     engine.Backend
 	planner *engine.Planner
 	kernel  *semantic.Kernel
-	shadow  *quality.Shadow
+	// refScore re-scores a pair on this epoch's exact-capable reference
+	// backend (shadow verification). Built once per epoch so the hot
+	// path can hand it to the verifier without allocating; nil when
+	// shadowing is off.
+	refScore func(u, v NodeID) (float64, error)
 }
 
 // BuildIndex samples the reversed-walk index for g and wires up the
@@ -211,7 +243,7 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := assemble(g, sem, ix, opts)
+	idx, err := newIndex(g, sem, ix, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,11 +251,46 @@ func BuildIndex(g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
 	return idx, nil
 }
 
+// newIndex assembles epoch 0 around the sampled walks, wraps it in the
+// facade and attaches the shadow verifier (whose worker outlives
+// individual epochs — each sample is pinned to the scorer of the epoch
+// that produced it).
+func newIndex(g *Graph, sem Measure, walks *walk.Index, opts IndexOptions) (*Index, error) {
+	snap, err := assemble(g, sem, walks, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{metrics: opts.Metrics, opts: opts, baseSem: sem}
+	if opts.ShadowRate > 0 {
+		// Drift severities anchor on the theta envelope (Prop 4.6): an
+		// absolute error beyond theta means pruning ate more than its
+		// one-sided budget plus the Monte-Carlo noise; beyond 2*theta
+		// something is structurally wrong. With pruning off the paper's
+		// default theta stands in as the yardstick.
+		warn, crit := opts.Theta, 2*opts.Theta
+		if opts.Theta == 0 {
+			warn, crit = 0.05, 0.1
+		}
+		idx.shadow = quality.NewShadow(quality.ShadowConfig{
+			Rate:          opts.ShadowRate,
+			Scorer:        snap.refScore,
+			WarnThreshold: warn,
+			CritThreshold: crit,
+			QueueSize:     opts.ShadowQueue,
+			Metrics:       opts.Metrics,
+		})
+	}
+	idx.snap.Store(snap)
+	opts.Metrics.Gauge("semsim_mutator_epoch",
+		"current index epoch: 0 at build, +1 per committed mutation batch").Set(0)
+	return idx, nil
+}
+
 // assemble wires the estimator stack (SLING cache, importance-sampling
 // estimator, SimRank twin, meet index) around an existing walk index —
-// the shared tail of BuildIndex and LoadIndex, with per-phase metrics
-// and trace spans.
-func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index, error) {
+// the shared tail of BuildIndex, LoadIndex and Mutator.Commit — into
+// one immutable snapshot, with per-phase metrics and trace spans.
+func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions, epoch uint64) (*snapshot, error) {
 	var kern *semantic.Kernel
 	if wrapKernel(sem, opts.SemanticKernel) {
 		sp := opts.Trace.Start("semantic-kernel")
@@ -270,62 +337,73 @@ func assemble(g *Graph, sem Measure, ix *walk.Index, opts IndexOptions) (*Index,
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{g: g, walks: ix, est: est, srmc: srmc, cache: cache, metrics: opts.Metrics, kernel: kern}
+	snap := &snapshot{epoch: epoch, g: g, sem: sem, walks: ix,
+		est: est, srmc: srmc, cache: cache, kernel: kern}
 	if opts.MeetIndex {
 		meetLat := opts.Metrics.Histogram("semsim_build_meet_index_seconds",
 			"wall time of the inverted meet-index pass", nil)
 		sp := opts.Trace.Start("meet-index")
 		tm := meetLat.Start()
-		idx.meet = walk.BuildMeetIndex(ix)
+		snap.meet = walk.BuildMeetIndex(ix)
 		meetLat.ObserveSince(tm)
 		sp.End()
 	}
+	if err := snap.finish(opts); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// finish completes a snapshot whose estimator stack is in place:
+// planner statistics, the engine backend and (when shadowing is
+// configured) the epoch's reference scorer. Commit reuses it after
+// repairing the walk/meet/cache/kernel structures incrementally.
+func (snap *snapshot) finish(opts IndexOptions) error {
 	if opts.AutoPlan {
-		st := engine.CollectStats(g, ix, idx.meet)
-		st.DenseSemKernel = kern != nil && kern.DenseMode()
+		st := engine.CollectStats(snap.g, snap.walks, snap.meet)
+		st.DenseSemKernel = snap.kernel != nil && snap.kernel.DenseMode()
 		// The linear strategy is only routable when the backend that
 		// owns the solved score matrix is the one answering queries.
 		st.LinearSolved = opts.Backend == "linear"
 		st.LinearMaxNodes = opts.MaxLinearNodes
-		idx.planner = engine.NewPlanner(st, opts.Metrics)
+		snap.planner = engine.NewPlanner(st, opts.Metrics)
 	}
 	backendLat := opts.Metrics.Histogram("semsim_build_backend_seconds",
 		"wall time of the engine-backend construction (fixpoint solves for reduced/exact)", nil)
 	sp := opts.Trace.Start("engine-backend")
 	tb := backendLat.Start()
 	eng, err := engine.New(opts.Backend, engine.Config{
-		Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
-		Estimator: est, Walks: ix, Meet: idx.meet, Cache: cache,
-		Workers: opts.Workers, Metrics: opts.Metrics, Planner: idx.planner,
+		Graph: snap.g, Sem: snap.sem, C: opts.C, Theta: opts.Theta,
+		Estimator: snap.est, Walks: snap.walks, Meet: snap.meet, Cache: snap.cache,
+		Workers: opts.Workers, Metrics: opts.Metrics, Planner: snap.planner,
 		LinearMaxSweeps: opts.LinearMaxSweeps, LinearResidual: opts.LinearResidual,
 		MaxLinearNodes: opts.MaxLinearNodes,
 	})
 	backendLat.ObserveSince(tb)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	idx.eng = eng
+	snap.eng = eng
 	if opts.ShadowRate > 0 {
-		if err := idx.attachShadow(g, sem, opts); err != nil {
-			return nil, err
-		}
+		return snap.buildShadowRef(opts)
 	}
-	return idx, nil
+	return nil
 }
 
-// attachShadow builds (or reuses) the reference backend and starts the
-// shadow verifier. sem is the post-kernel measure, so the reference
-// scores against bit-identical semantics.
-func (ix *Index) attachShadow(g *Graph, sem Measure, opts IndexOptions) error {
+// buildShadowRef builds (or reuses) the exact-capable reference backend
+// this epoch's shadow samples are verified against. snap.sem is the
+// post-kernel measure, so the reference scores against bit-identical
+// semantics.
+func (snap *snapshot) buildShadowRef(opts IndexOptions) error {
 	name := opts.ShadowBackend
 	if name == "" {
 		name = "exact"
-		if g.NumNodes() > engine.DefaultMaxExactNodes {
+		if snap.g.NumNodes() > engine.DefaultMaxExactNodes {
 			name = "reduced"
 		}
 	}
-	ref := ix.eng
+	ref := snap.eng
 	if ref.Name() != name || !ref.Caps().Exact {
 		shadowLat := opts.Metrics.Histogram("semsim_build_shadow_backend_seconds",
 			"wall time of the shadow reference-backend construction", nil)
@@ -333,8 +411,8 @@ func (ix *Index) attachShadow(g *Graph, sem Measure, opts IndexOptions) error {
 		ts := shadowLat.Start()
 		var err error
 		ref, err = engine.New(name, engine.Config{
-			Graph: g, Sem: sem, C: opts.C, Theta: opts.Theta,
-			Estimator: ix.est, Walks: ix.walks, Meet: ix.meet, Cache: ix.cache,
+			Graph: snap.g, Sem: snap.sem, C: opts.C, Theta: opts.Theta,
+			Estimator: snap.est, Walks: snap.walks, Meet: snap.meet, Cache: snap.cache,
 			Workers:         opts.Workers,
 			LinearMaxSweeps: opts.LinearMaxSweeps, LinearResidual: opts.LinearResidual,
 			MaxLinearNodes: opts.MaxLinearNodes,
@@ -348,23 +426,7 @@ func (ix *Index) attachShadow(g *Graph, sem Measure, opts IndexOptions) error {
 	if !ref.Caps().Exact {
 		return fmt.Errorf("semsim: shadow backend %q is not exact-capable; drift against a sampling reference would measure its noise, not ours", name)
 	}
-	// Drift severities anchor on the theta envelope (Prop 4.6): an
-	// absolute error beyond theta means pruning ate more than its
-	// one-sided budget plus the Monte-Carlo noise; beyond 2*theta
-	// something is structurally wrong. With pruning off the paper's
-	// default theta stands in as the yardstick.
-	warn, crit := opts.Theta, 2*opts.Theta
-	if opts.Theta == 0 {
-		warn, crit = 0.05, 0.1
-	}
-	ix.shadow = quality.NewShadow(quality.ShadowConfig{
-		Rate:          opts.ShadowRate,
-		Scorer:        ref.Query,
-		WarnThreshold: warn,
-		CritThreshold: crit,
-		QueueSize:     opts.ShadowQueue,
-		Metrics:       opts.Metrics,
-	})
+	snap.refScore = ref.Query
 	return nil
 }
 
@@ -388,28 +450,46 @@ func wrapKernel(sem Measure, mode string) bool {
 }
 
 // Backend reports the engine backend name the index delegates to.
-func (ix *Index) Backend() string { return ix.eng.Name() }
+func (ix *Index) Backend() string { return ix.snap.Load().eng.Name() }
+
+// Graph returns the graph of the current epoch. After a Commit the
+// returned graph is the mutated one; graphs are immutable, so holding an
+// older epoch's graph stays valid.
+func (ix *Index) Graph() *Graph { return ix.snap.Load().g }
+
+// Sem returns the measure the current epoch scores with — the semantic
+// kernel when one is attached, otherwise the raw measure.
+func (ix *Index) Sem() Measure { return ix.snap.Load().sem }
+
+// Epoch reports the current snapshot's epoch: 0 at build, +1 per
+// committed mutation batch.
+func (ix *Index) Epoch() uint64 { return ix.snap.Load().epoch }
 
 // KernelMode reports the semantic kernel's storage mode — "dense" or
 // "memo" — or "" when no kernel is attached (SemanticKernel "off", or
 // "auto" with a custom measure).
 func (ix *Index) KernelMode() string {
-	if ix.kernel == nil {
+	s := ix.snap.Load()
+	if s.kernel == nil {
 		return ""
 	}
-	return ix.kernel.Mode()
+	return s.kernel.Mode()
 }
 
 // Query estimates the SemSim score of (u,v) in [0,1] via the selected
 // backend. Node IDs are bounds-checked: an id outside the graph scores
 // 0 instead of indexing walk storage unchecked.
 func (ix *Index) Query(u, v NodeID) float64 {
-	s, err := ix.eng.Query(u, v)
+	s := ix.snap.Load()
+	score, err := s.eng.Query(u, v)
 	if err != nil {
 		return 0
 	}
-	ix.shadow.Offer(u, v, s)
-	return s
+	// The sample carries this epoch's reference scorer, so a commit
+	// racing with the verification can't compare estimates against a
+	// different graph's truth.
+	ix.shadow.OfferWith(u, v, score, s.refScore)
+	return score
 }
 
 // ExplainQuery answers Query(u, v) together with the evidence behind
@@ -420,20 +500,21 @@ func (ix *Index) Query(u, v NodeID) float64 {
 // it never perturbs it. An out-of-range node returns an error wrapping
 // ErrNodeOutOfRange.
 func (ix *Index) ExplainQuery(u, v NodeID) (*Explanation, error) {
-	if ex, ok := ix.eng.(engine.Explainer); ok {
+	s := ix.snap.Load()
+	if ex, ok := s.eng.(engine.Explainer); ok {
 		return ex.Explain(u, v)
 	}
 	// A backend without explain support still yields the score and a
 	// degenerate evidence record, so callers can treat /explain as
 	// universally available.
-	s, err := ix.eng.Query(u, v)
+	score, err := s.eng.Query(u, v)
 	if err != nil {
 		return nil, err
 	}
 	return &Explanation{
 		U: int(u), V: int(v),
-		Backend: ix.eng.Name(), Exact: ix.eng.Caps().Exact,
-		Score: s, Mean: s, CILow: s, CIHigh: s,
+		Backend: s.eng.Name(), Exact: s.eng.Caps().Exact,
+		Score: score, Mean: score, CILow: score, CIHigh: score,
 		CIConfidence: quality.Confidence,
 		SOCacheMode:  "none",
 	}, nil
@@ -457,10 +538,11 @@ func (ix *Index) Close() {
 // query logs. Returns "" when the index was built without AutoPlan (the
 // static routing applies).
 func (ix *Index) PlanStrategy(k int) string {
-	if ix.planner == nil {
+	s := ix.snap.Load()
+	if s.planner == nil {
 		return ""
 	}
-	return ix.planner.Peek().String()
+	return s.planner.Peek().String()
 }
 
 // TopK returns the k nodes most similar to u, descending. With
@@ -471,7 +553,7 @@ func (ix *Index) PlanStrategy(k int) string {
 // brute scan otherwise. All strategies return the identical result set.
 // An out-of-range u returns nil.
 func (ix *Index) TopK(u NodeID, k int) []Scored {
-	out, err := ix.eng.TopK(u, k)
+	out, err := ix.snap.Load().eng.TopK(u, k)
 	if err != nil {
 		return nil
 	}
@@ -483,10 +565,11 @@ func (ix *Index) TopK(u NodeID, k int) []Scored {
 // IndexOptions.MeetIndex; the reduced and exact backends enumerate
 // natively.
 func (ix *Index) SingleSource(u NodeID) ([]Scored, error) {
-	if !ix.eng.Caps().HasSingleSource {
+	s := ix.snap.Load()
+	if !s.eng.Caps().HasSingleSource {
 		return nil, errNoMeetIndex
 	}
-	return ix.eng.SingleSource(u)
+	return s.eng.SingleSource(u)
 }
 
 // TopKSemBounded is TopK forced onto the sem-bounded strategy of Prop
@@ -498,7 +581,7 @@ func (ix *Index) SingleSource(u NodeID) ([]Scored, error) {
 // scan whenever it wins. This shim remains for callers that want to
 // force the strategy explicitly.
 func (ix *Index) TopKSemBounded(u NodeID, k int) []Scored {
-	if sr, ok := ix.eng.(engine.StrategyRunner); ok {
+	if sr, ok := ix.snap.Load().eng.(engine.StrategyRunner); ok {
 		out, err := sr.TopKWithStrategy(u, k, engine.StrategySemBounded)
 		if err != nil {
 			return nil
@@ -517,22 +600,23 @@ func (ix *Index) TopKSemBounded(u NodeID, k int) []Scored {
 // defaulting to NumCPU). Results align positionally with pairs and
 // match a serial Query loop exactly.
 func (ix *Index) BatchQuery(pairs [][2]NodeID, workers int) ([]float64, error) {
-	return ix.eng.QueryBatch(pairs, workers)
+	return ix.snap.Load().eng.QueryBatch(pairs, workers)
 }
 
 // SimRankQuery estimates the plain SimRank score on the same walk index
 // (the Fogaras–Rácz estimator) — useful for side-by-side comparisons.
-func (ix *Index) SimRankQuery(u, v NodeID) float64 { return ix.srmc.Query(u, v) }
+func (ix *Index) SimRankQuery(u, v NodeID) float64 { return ix.snap.Load().srmc.Query(u, v) }
 
 // CacheSummary aggregates the SLING cache's hit/miss counters, derived
 // hit ratio and entry count in one coherent pass (the zero value when
 // the cache is disabled). The counters are atomic, so the snapshot is
 // safe to take while queries are in flight.
 func (ix *Index) CacheSummary() CacheSummary {
-	if ix.cache == nil {
+	s := ix.snap.Load()
+	if s.cache == nil {
 		return CacheSummary{}
 	}
-	return ix.cache.Summary()
+	return s.cache.Summary()
 }
 
 // CacheStats reports the SLING cache's aggregate hit/miss counters
@@ -565,7 +649,7 @@ func (ix *Index) Metrics() *Metrics {
 // SaveWalks persists the precomputed walk index; LoadIndex restores it
 // without resampling (the dominant preprocessing cost).
 func (ix *Index) SaveWalks(w io.Writer) error {
-	_, err := ix.walks.WriteTo(w)
+	_, err := ix.snap.Load().walks.WriteTo(w)
 	return err
 }
 
@@ -585,7 +669,7 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 	if err != nil {
 		return nil, err
 	}
-	idx, err := assemble(g, sem, walks, opts)
+	idx, err := newIndex(g, sem, walks, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -598,18 +682,19 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 // non-mc backend additionally reports its own prepared structure (the
 // reduced pair graph, the exact score matrix).
 func (ix *Index) MemoryBytes() int64 {
-	m := ix.walks.MemoryBytes()
-	if ix.cache != nil {
-		m += ix.cache.MemoryBytes()
+	s := ix.snap.Load()
+	m := s.walks.MemoryBytes()
+	if s.cache != nil {
+		m += s.cache.MemoryBytes()
 	}
-	if ix.kernel != nil {
-		m += ix.kernel.MemoryBytes()
+	if s.kernel != nil {
+		m += s.kernel.MemoryBytes()
 	}
-	if ix.meet != nil {
-		m += ix.meet.MemoryBytes()
+	if s.meet != nil {
+		m += s.meet.MemoryBytes()
 	}
-	if ix.eng != nil && ix.eng.Name() != "mc" {
-		m += ix.eng.MemoryBytes()
+	if s.eng != nil && s.eng.Name() != "mc" {
+		m += s.eng.MemoryBytes()
 	}
 	return m
 }
