@@ -10,6 +10,9 @@ package semsim_test
 // Full-size tables:   go run ./cmd/experiments -run all [-scale paper]
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -449,6 +452,73 @@ func BenchmarkTopK10Metrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		u, _ := pairAt(e, i)
 		e.idxM.TopK(u, 10)
+	}
+}
+
+// --- Capacity benchmarks (v3 walk format, lazy residency) ------------
+
+// writeBenchWalks serializes the shared walk index into a temp v3 file
+// for the lazy-residency benchmarks.
+func writeBenchWalks(b *testing.B, e *benchEnv) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "walks.v3")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.ix.WriteTo(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkQueryCold is the lazy-residency query path under cache
+// pressure: the walk file is opened demand-paged with a block-cache
+// budget far below the decoded index size, so queries keep faulting
+// blocks through decode + eviction. Compare against
+// BenchmarkQuerySemSimMC (same estimator configuration, fully resident)
+// for the price of serving an index that does not fit in RAM.
+func BenchmarkQueryCold(b *testing.B) {
+	e := env(b)
+	lazy, err := walk.OpenLazyFile(writeBenchWalks(b, e), e.d.Graph,
+		walk.LazyOptions{CacheBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lazy.Close()
+	est, err := mc.New(lazy, e.d.Lin, mc.Options{C: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		est.Query(u, v)
+	}
+	if n := lazy.DecodeErrors(); n != 0 {
+		b.Fatalf("%d decode errors: %v", n, lazy.LastDecodeErr())
+	}
+}
+
+// BenchmarkLoadV3 measures the full (resident) load of a v3 walk file —
+// the process-restart cost SaveWalks exists to amortize. MB/s is
+// against the compressed on-disk size.
+func BenchmarkLoadV3(b *testing.B) {
+	e := env(b)
+	var buf bytes.Buffer
+	if _, err := e.ix.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := walk.Load(bytes.NewReader(buf.Bytes()), e.d.Graph); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -9,7 +9,10 @@
 #      cmd/loadgen for ~5s and asserts nonzero throughput, zero 5xx
 #      and a sane p99 (the serving-SLO smoke: burn-rate gauges,
 #      build_info and the profile counters are all in the linted
-#      scrape, and the trace log fills with sampled spans)
+#      scrape, and the trace log fills with sampled spans), and the
+#      capacity smoke: datagen -stream emits a v3 walk file, convert
+#      round-trips it through v2, and serve answers from it demand-paged
+#      (-lazy-walks) under a tiny block-cache budget
 #   2. full test suite under -race          (concurrency correctness —
 #      the stress tests drive 8+ goroutines through one shared cached
 #      Index and assert bit-identical results vs serial runs; includes
@@ -95,6 +98,45 @@ serve_pid=""
 grep -q "final metrics snapshot" "$tmpdir/serve.log" \
     || { echo "ci: serve shutdown never logged the final snapshot"; exit 1; }
 echo "    loadgen smoke green (report at loadgen.json, traces sampled, final snapshot logged)"
+
+echo "==> tier 1: streaming v3 build + lazy serve smoke"
+# End to end million-node-capacity path at smoke scale: datagen -stream
+# emits a v3 walk file without materializing the walk slab, convert
+# round-trips it through v2, and serve answers from the v3 file
+# demand-paged under a deliberately tiny block-cache budget.
+go run ./cmd/datagen -dataset amazon -size 300 -seed 2 -out "$tmpdir/stream.hin" \
+    -walks "$tmpdir/stream.walks" -stream -nw 40 -t 6 -walk-seed 1
+"$tmpdir/semsim" convert -graph "$tmpdir/stream.hin" \
+    -in "$tmpdir/stream.walks" -out "$tmpdir/stream.walks.v2" -walk-format v2
+"$tmpdir/semsim" convert -graph "$tmpdir/stream.hin" \
+    -in "$tmpdir/stream.walks.v2" -out "$tmpdir/stream.walks.rt" -walk-format v3
+cmp "$tmpdir/stream.walks" "$tmpdir/stream.walks.rt" \
+    || { echo "ci: v3 -> v2 -> v3 convert round-trip diverged"; exit 1; }
+"$tmpdir/semsim" serve -graph "$tmpdir/stream.hin" -debug-addr 127.0.0.1:0 \
+    -nw 40 -t 6 -load-walks "$tmpdir/stream.walks" \
+    -lazy-walks -walk-cache-bytes 65536 2> "$tmpdir/serve-lazy.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*serving on http://\([0-9.:]*\).*|\1|p' "$tmpdir/serve-lazy.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$tmpdir/serve-lazy.log"; echo "ci: lazy serve died"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { cat "$tmpdir/serve-lazy.log"; echo "ci: lazy serve never bound"; exit 1; }
+curl -sf "http://$addr/metrics" > "$tmpdir/metrics.lazy"
+grep -q 'walk_residency="lazy"' "$tmpdir/metrics.lazy" \
+    || { echo "ci: build_info does not report lazy residency"; exit 1; }
+grep -q '^semsim_walk_cache_misses_total [1-9]' "$tmpdir/metrics.lazy" \
+    || { echo "ci: lazy serve never decoded a block (cache misses flat)"; exit 1; }
+# The walk-cache series only exist on a lazy server; lint them too.
+go run ./cmd/promlint -url "http://$addr/metrics"
+curl -sf "http://$addr/query?u=item-1&v=item-2" > /dev/null \
+    || { echo "ci: lazy serve query failed"; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "    streaming build + convert round-trip + lazy serve green"
 
 echo "==> tier 2: race detector"
 go test -race ./...

@@ -7,12 +7,17 @@
 //	semsim single -graph g.hin -u NAME -k 10 [flags]   (inverted-index single-source)
 //	semsim exact  -graph g.hin -top 20 [flags]
 //	semsim serve  -graph g.hin -debug-addr :6060       (resident HTTP server, see serve.go)
+//	semsim convert -graph g.hin -in w.walks -out w2.walks -walk-format v3
 //
 // Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
 // node, -t walk length, -sling SO-cache cutoff, -seed, -backend engine
 // backend (mc|reduced|exact|linear), -autoplan adaptive top-k planning. The
 // walk index can be persisted across runs with -save-walks FILE /
-// -load-walks FILE. serve additionally takes -debug-addr (required),
+// -load-walks FILE; -walk-format picks the on-disk layout (v2 flat, v3
+// compressed blocks — the default), convert re-encodes an existing file
+// between the two, and -lazy-walks / -walk-cache-bytes serve a v3 file
+// demand-paged through a bounded block cache instead of loading it
+// whole. serve additionally takes -debug-addr (required),
 // -warmup, -shadow-rate/-shadow-backend (sampled shadow verification on
 // an exact reference backend), -query-log/-query-log-max-bytes (JSON
 // wide-event log with optional size rotation), -health-interval
@@ -44,26 +49,34 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		graphPath = fs.String("graph", "", "path to the HIN text file (required)")
-		uName     = fs.String("u", "", "first node name")
-		vName     = fs.String("v", "", "second node name")
-		k         = fs.Int("k", 10, "top-k size")
-		top       = fs.Int("top", 20, "pairs to print for exact")
-		c         = fs.Float64("c", 0.6, "decay factor")
-		theta     = fs.Float64("theta", 0.05, "pruning threshold (0 disables)")
-		nw        = fs.Int("nw", 150, "walks per node")
-		t         = fs.Int("t", 15, "walk length")
-		sling     = fs.Float64("sling", 0.1, "SLING SO-cache cutoff (0 disables)")
-		iters     = fs.Int("iters", 10, "iterations for exact")
-		seed      = fs.Int64("seed", 1, "random seed")
-		saveWalks = fs.String("save-walks", "", "persist the walk index to this file after building")
-		loadWalks = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
-		backend   = fs.String("backend", "mc", "engine backend: "+strings.Join(semsim.Backends(), "|"))
-		autoplan  = fs.Bool("autoplan", false, "let the adaptive planner pick the top-k strategy per query")
-		kernel    = fs.String("kernel", "auto", "semantic kernel: auto|on|off")
-		kernelMem = fs.Int64("kernel-budget", 0, "dense kernel memory budget in bytes (0 = 64 MiB default)")
-		debugAddr = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
-		warmup    = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
+		graphPath  = fs.String("graph", "", "path to the HIN text file (required)")
+		uName      = fs.String("u", "", "first node name")
+		vName      = fs.String("v", "", "second node name")
+		k          = fs.Int("k", 10, "top-k size")
+		top        = fs.Int("top", 20, "pairs to print for exact")
+		c          = fs.Float64("c", 0.6, "decay factor")
+		theta      = fs.Float64("theta", 0.05, "pruning threshold (0 disables)")
+		nw         = fs.Int("nw", 150, "walks per node")
+		t          = fs.Int("t", 15, "walk length")
+		sling      = fs.Float64("sling", 0.1, "SLING SO-cache cutoff (0 disables)")
+		iters      = fs.Int("iters", 10, "iterations for exact")
+		seed       = fs.Int64("seed", 1, "random seed")
+		saveWalks  = fs.String("save-walks", "", "persist the walk index to this file after building")
+		loadWalks  = fs.String("load-walks", "", "load a previously saved walk index instead of sampling")
+		walkFormat = fs.String("walk-format", "v3",
+			"on-disk walk format for -save-walks and convert: "+strings.Join(semsim.WalkFormats(), "|"))
+		lazyWalks = fs.Bool("lazy-walks", false,
+			"serve walks demand-paged from the -load-walks file (v3 format) instead of loading it whole")
+		walkCache = fs.Int64("walk-cache-bytes", 0,
+			"decoded-block cache budget for -lazy-walks (0 = 64 MiB default)")
+		convertIn  = fs.String("in", "", "convert: source walk file")
+		convertOut = fs.String("out", "", "convert: destination walk file")
+		backend    = fs.String("backend", "mc", "engine backend: "+strings.Join(semsim.Backends(), "|"))
+		autoplan   = fs.Bool("autoplan", false, "let the adaptive planner pick the top-k strategy per query")
+		kernel     = fs.String("kernel", "auto", "semantic kernel: auto|on|off")
+		kernelMem  = fs.Int64("kernel-budget", 0, "dense kernel memory budget in bytes (0 = 64 MiB default)")
+		debugAddr  = fs.String("debug-addr", "", "serve: listen address for the HTTP/debug server (e.g. :6060)")
+		warmup     = fs.Int("warmup", 4, "serve: warm-up queries run at startup to populate the metrics")
 		shadowRate = fs.Int("shadow-rate", 256,
 			"serve: re-score 1 in N queries on an exact reference backend off the hot path (0 disables shadow verification)")
 		shadowBackend = fs.String("shadow-backend", "",
@@ -126,17 +139,16 @@ func main() {
 			MeetIndex: meetIndex,
 			Backend:   *backend, AutoPlan: *autoplan,
 			SemanticKernel: *kernel, KernelMemoryBudget: *kernelMem,
+			LazyWalks: *lazyWalks, WalkCacheBytes: *walkCache,
 		}
 		var idx *semsim.Index
 		var err error
 		if *loadWalks != "" {
-			wf, err2 := os.Open(*loadWalks)
-			if err2 != nil {
-				fatal(err2)
-			}
-			idx, err = semsim.LoadIndex(wf, g, lin, opts)
-			wf.Close()
+			idx, err = semsim.OpenIndexFile(*loadWalks, g, lin, opts)
 		} else {
+			if *lazyWalks {
+				fatal("-lazy-walks requires -load-walks (a freshly sampled index is resident)")
+			}
 			idx, err = semsim.BuildIndex(g, lin, opts)
 		}
 		if err != nil {
@@ -147,7 +159,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := idx.SaveWalks(wf); err != nil {
+			if err := idx.SaveWalksFormat(wf, *walkFormat); err != nil {
 				fatal(err)
 			}
 			if err := wf.Close(); err != nil {
@@ -197,6 +209,29 @@ func main() {
 		for i, s := range idx.TopK(u, *k) {
 			fmt.Printf("%2d. %-30s %.6f\n", i+1, g.NodeName(s.Node), s.Score)
 		}
+	case "convert":
+		if *convertIn == "" || *convertOut == "" {
+			fatal("convert needs -in and -out")
+		}
+		in, err := os.Open(*convertIn)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := os.Create(*convertOut)
+		if err != nil {
+			fatal(err)
+		}
+		written, err := semsim.ConvertWalks(in, g, out, *walkFormat)
+		in.Close()
+		if err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "semsim: convert: wrote %s (%s, %d bytes)\n",
+			*convertOut, *walkFormat, written)
 	case "serve":
 		if *debugAddr == "" {
 			fatal("serve needs -debug-addr")
@@ -204,6 +239,7 @@ func main() {
 		err := runServe(g, lin, serveConfig{
 			debugAddr:        *debugAddr,
 			warmup:           *warmup,
+			walksPath:        *loadWalks,
 			queryLogPath:     *queryLog,
 			queryLogMaxBytes: *queryLogMax,
 			healthInterval:   *healthEvery,
@@ -222,6 +258,7 @@ func main() {
 				Backend: *backend, AutoPlan: *autoplan,
 				SemanticKernel: *kernel, KernelMemoryBudget: *kernelMem,
 				ShadowRate: *shadowRate, ShadowBackend: *shadowBackend,
+				LazyWalks: *lazyWalks, WalkCacheBytes: *walkCache,
 			},
 		}, nil)
 		if err != nil {
@@ -268,7 +305,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact|serve} -graph FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact|serve|convert} -graph FILE [flags]")
 }
 
 func fatal(v interface{}) {

@@ -96,6 +96,10 @@ type serveConfig struct {
 	debugAddr string
 	warmup    int
 	opts      semsim.IndexOptions
+	// walksPath, when non-empty, loads (or, with opts.LazyWalks,
+	// demand-pages) the walk index from this file instead of sampling at
+	// startup.
+	walksPath string
 	// queryLogPath, when non-empty, streams one JSON wide event per
 	// request to this file ("-" = stdout). queryLogMaxBytes > 0 adds
 	// size-based rotation (one .1 generation kept).
@@ -172,7 +176,12 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 		return err
 	}
 
-	idx, err := semsim.BuildIndex(g, sem, cfg.opts)
+	var idx *semsim.Index
+	if cfg.walksPath != "" {
+		idx, err = semsim.OpenIndexFile(cfg.walksPath, g, sem, cfg.opts)
+	} else {
+		idx, err = semsim.BuildIndex(g, sem, cfg.opts)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -329,10 +338,15 @@ func registerBuildInfo(reg *semsim.Metrics, idx *semsim.Index) {
 	if kernel == "" {
 		kernel = "none"
 	}
+	residency := "resident"
+	if idx.LazyWalks() {
+		residency = "lazy"
+	}
 	reg.GaugeFunc(obs.SeriesName("semsim_build_info",
 		"backend", idx.Backend(),
 		"kernel", kernel,
 		"walk_format", strconv.Itoa(walk.FormatVersion),
+		"walk_residency", residency,
 		"go", runtime.Version()),
 		"Serving configuration identity (constant 1; the labels carry the information).",
 		func() float64 { return 1 })

@@ -229,7 +229,8 @@ func TestServeObsEndToEnd(t *testing.T) {
 		"semsim_slo_objective 0.99",
 		"semsim_build_info{",
 		`backend="mc"`,
-		`walk_format="2"`,
+		`walk_format="3"`,
+		`walk_residency="resident"`,
 		`semsim_http_requests_total{endpoint="/query"} 2`,
 		`semsim_http_requests_total{endpoint="/explain"} 1`,
 		`semsim_http_requests_total{endpoint="/topk"} 1`,

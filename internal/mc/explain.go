@@ -6,6 +6,7 @@ import (
 	"semsim/internal/hin"
 	"semsim/internal/obs/quality"
 	"semsim/internal/semantic"
+	"semsim/internal/walk"
 )
 
 // Explain evaluates sim(u,v) exactly like Query while recording the
@@ -62,16 +63,18 @@ func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
 	nw := e.ix.NumWalks()
 	ex.NumWalks = nw
 	ex.MeetsByStep = make([]int64, e.ix.Length()+1)
+	// Mirrors query(): one pinned view per node, all walks through it.
+	vu, vv := e.ix.View(u), e.ix.View(v)
 	var total, sumSq, sumCube float64
 	var coupled, capped int64
 	for i := 0; i < nw; i++ {
-		tau, ok := e.ix.Meet(u, v, i)
+		tau, ok := walk.MeetViews(vu, vv, i)
 		if !ok {
 			continue
 		}
 		coupled++
 		ex.MeetsByStep[tau]++
-		s, hitCap := e.walkScore(u, v, i, tau)
+		s, hitCap := e.walkScore(vu, vv, i, tau)
 		if hitCap {
 			capped++
 		}

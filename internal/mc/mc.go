@@ -161,15 +161,19 @@ func (e *Estimator) query(u, v hin.NodeID) float64 {
 		return 0 // lines 2-3 of Algorithm 1
 	}
 	nw := e.ix.NumWalks()
+	// One view fetch per node pins both walk blocks for the whole query:
+	// in resident mode this compiles to the same slab indexing as
+	// before; in lazy mode it is two cache probes instead of 2*n_w.
+	vu, vv := e.ix.View(u), e.ix.View(v)
 	var total float64
 	var coupled, capped int64
 	for i := 0; i < nw; i++ {
-		tau, ok := e.ix.Meet(u, v, i)
+		tau, ok := walk.MeetViews(vu, vv, i)
 		if !ok {
 			continue
 		}
 		coupled++
-		s, hitCap := e.walkScore(u, v, i, tau)
+		s, hitCap := e.walkScore(vu, vv, i, tau)
 		if hitCap {
 			capped++
 		}
@@ -251,10 +255,12 @@ func (e *Estimator) finishBatch(t0 time.Time, pairs int) {
 // walkScore computes (P/Q) * c^tau for the prefix of the i-th coupled walk
 // up to its meeting offset tau, with theta pruning (lines 10-18). capped
 // reports whether the theta cap cut the product short (Definition 4.5) —
-// the per-walk signal behind semsim_theta_walk_caps_total.
-func (e *Estimator) walkScore(u, v hin.NodeID, i, tau int) (score float64, capped bool) {
-	wu := e.ix.Walk(u, i)
-	wv := e.ix.Walk(v, i)
+// the per-walk signal behind semsim_theta_walk_caps_total. The walks are
+// read through the caller's pinned views so one block probe covers all
+// n_w walks of a lazy index.
+func (e *Estimator) walkScore(vu, vv walk.NodeView, i, tau int) (score float64, capped bool) {
+	wu := vu.Walk(i)
+	wv := vv.Walk(i)
 	simW := 1.0
 	for s := 0; s < tau; s++ {
 		cu, cv := hin.NodeID(wu[s]), hin.NodeID(wv[s])

@@ -57,16 +57,18 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 	sc.groups = groups
 
 	nw := float64(e.ix.NumWalks())
+	vu := e.ix.View(u)
 	scoreGroup := func(g ssGroup) float64 {
 		semUV := e.sem.Sim(u, g.other)
 		if e.theta > 0 && semUV <= e.theta {
 			e.m.semSkips.Inc()
 			return 0
 		}
+		vo := e.ix.View(g.other)
 		var total float64
 		var capped int64
 		for _, col := range cols[g.lo:g.hi] {
-			s, hitCap := e.walkScore(u, g.other, int(col.Walk), col.Tau)
+			s, hitCap := e.walkScore(vu, vo, int(col.Walk), col.Tau)
 			if hitCap {
 				capped++
 			}

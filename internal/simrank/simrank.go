@@ -127,8 +127,9 @@ func (m *MC) Query(u, v hin.NodeID) float64 {
 	}
 	var sum float64
 	nw := m.ix.NumWalks()
+	vu, vv := m.ix.View(u), m.ix.View(v)
 	for i := 0; i < nw; i++ {
-		if tau, ok := m.ix.Meet(u, v, i); ok {
+		if tau, ok := walk.MeetViews(vu, vv, i); ok {
 			sum += m.powC[tau]
 		}
 	}

@@ -35,22 +35,32 @@ func seedCorpus(f *testing.F, g *hin.Graph) {
 		if err != nil {
 			f.Fatalf("Build: %v", err)
 		}
+		// The default (v3, block-compressed) layout.
 		var buf bytes.Buffer
 		if _, err := ix.WriteTo(&buf); err != nil {
 			f.Fatalf("WriteTo: %v", err)
 		}
 		f.Add(buf.Bytes())
-		// The same index in the legacy (v1, checksum-free) layout: Load
-		// must keep accepting it, and mutants exercise the uncovered
-		// payload path.
-		f.Add(legacyBytes(buf.Bytes()))
+		// The flat checksummed v2 layout, and its legacy (v1,
+		// checksum-free) rewrite: Load must keep accepting both, and
+		// mutants exercise the per-format payload paths.
+		var v2 bytes.Buffer
+		if _, err := ix.WriteToFormat(&v2, FormatV2); err != nil {
+			f.Fatalf("WriteToFormat: %v", err)
+		}
+		f.Add(v2.Bytes())
+		f.Add(legacyBytes(v2.Bytes()))
 	}
 	// Hostile seeds: truncations and headers advertising huge dimensions
-	// in both the legacy and checksummed layouts.
+	// in every layout — these must be rejected by validation, not by
+	// attempting the allocation they advertise.
 	f.Add([]byte{})
 	f.Add([]byte("SSWK"))
 	f.Add([]byte("SSWK\x01\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00"))
 	f.Add([]byte("SSWK\x02\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00\x00\x00\x00\x00"))
+	for _, hostile := range hostileV3Seeds(g) {
+		f.Add(hostile)
+	}
 }
 
 // FuzzLoadRoundTrip is the Write -> Read -> Write harness for the binary
@@ -123,9 +133,13 @@ func TestFuzzSeedsPassWithoutFuzzing(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 		t.Fatal("round trip is not byte-identical")
 	}
-	// The legacy rewrite of the same bytes must load to identical walks
-	// and re-serialize (as v2) to the same fixpoint.
-	legacy, err := Load(bytes.NewReader(legacyBytes(buf.Bytes())), g)
+	// The v2 serialization and its legacy rewrite must load to identical
+	// walks and re-serialize (upgrading to v3) to the same fixpoint.
+	var v2 bytes.Buffer
+	if _, err := ix.WriteToFormat(&v2, FormatV2); err != nil {
+		t.Fatalf("WriteToFormat: %v", err)
+	}
+	legacy, err := Load(bytes.NewReader(legacyBytes(v2.Bytes())), g)
 	if err != nil {
 		t.Fatalf("Load legacy: %v", err)
 	}
@@ -134,16 +148,18 @@ func TestFuzzSeedsPassWithoutFuzzing(t *testing.T) {
 		t.Fatalf("WriteTo: %v", err)
 	}
 	if !bytes.Equal(buf.Bytes(), fromLegacy.Bytes()) {
-		t.Fatal("legacy round trip does not upgrade to the same v2 bytes")
+		t.Fatal("legacy round trip does not upgrade to the same v3 bytes")
 	}
 	// Hostile huge-dimension headers must be rejected, not allocated, in
-	// both layouts.
-	for _, huge := range [][]byte{
+	// every layout.
+	huge := [][]byte{
 		[]byte("SSWK\x01\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00"),
 		[]byte("SSWK\x02\x00\x00\x00\x0b\x00\x00\x00\xff\xff\xff\x7f\xff\xff\xff\x7f\x16\x00\x00\x00\x00\x00\x00\x00"),
-	} {
-		if _, err := Load(bytes.NewReader(huge), g); err == nil {
-			t.Fatal("Load accepted a header with ~2^31 walks per node")
+	}
+	huge = append(huge, hostileV3Seeds(g)...)
+	for _, h := range huge {
+		if _, err := Load(bytes.NewReader(h), g); err == nil {
+			t.Fatal("Load accepted a hostile header")
 		}
 	}
 }

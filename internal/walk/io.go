@@ -10,18 +10,22 @@ import (
 	"semsim/internal/hin"
 )
 
-// Binary index format (version 2):
+// Binary index formats.
+//
+// Version 2 (flat):
 //
 //	magic "SSWK" | version u32 | nodes u32 | numWalks u32 | length u32 |
 //	edges u32 (graph fingerprint) | crc32 u32 (IEEE, walk payload) |
 //	walks []int32 LE
 //
 // Version 1 is the same layout without the crc32 word; Load still reads
-// it (walk files written before checksumming existed stay loadable) but
-// WriteTo always emits version 2. The checksum covers the walk payload:
-// dimension and graph mismatches are already caught by the fingerprint
-// fields, while silent bit rot in the (much larger) walk body was
-// previously detectable only when a step happened to fall out of range.
+// it (walk files written before checksumming existed stay loadable).
+//
+// Version 3 (compressed block format, the default WriteTo emits — see
+// io_v3.go for the encoding) stores the walks as in-neighbor-slot
+// varints in fixed-size blocks with a per-block CRC and an offset
+// directory, cutting the on-disk footprint ~4x and enabling the lazy
+// (larger-than-RAM) loading mode of OpenLazy.
 //
 // The preprocessing phase of the paper is the dominant offline cost, so
 // persisting and reloading the sampled walks (instead of resampling on
@@ -31,15 +35,17 @@ import (
 const (
 	indexMagic = "SSWK"
 
-	// indexVersionLegacy files carry no checksum; indexVersion files
-	// insert a crc32 word after the edges fingerprint.
-	indexVersionLegacy = 1
-	indexVersion       = 2
+	// FormatV1 files carry no checksum; FormatV2 files insert a crc32
+	// word after the edges fingerprint; FormatV3 files use the
+	// compressed block layout of io_v3.go.
+	FormatV1 = 1
+	FormatV2 = 2
+	FormatV3 = 3
 
-	// FormatVersion is the walk-file version Save writes — exported so
-	// serving telemetry (semsim_build_info) can report which on-disk
-	// format this process produces.
-	FormatVersion = indexVersion
+	// FormatVersion is the walk-file version WriteTo emits by default —
+	// exported so serving telemetry (semsim_build_info) can report which
+	// on-disk format this process produces.
+	FormatVersion = FormatV3
 
 	// maxLoadWalks and maxLoadLength bound the header dimensions Load
 	// accepts. The paper's settings are n_w = 150 and t = 15; the caps
@@ -50,23 +56,47 @@ const (
 	maxLoadLength = 1 << 16
 )
 
-// payloadCRC checksums the serialized walk payload: every step as a
-// little-endian uint32, exactly the bytes WriteTo emits after the
-// header.
+// payloadCRC checksums the serialized v2 walk payload: every step as a
+// little-endian uint32, exactly the bytes writeToV2 emits after the
+// header. It reads through views so it also covers lazy indexes.
 func (ix *Index) payloadCRC() uint32 {
 	sum := crc32.NewIEEE()
 	var buf [4]byte
-	for _, step := range ix.walks {
-		binary.LittleEndian.PutUint32(buf[:], uint32(step))
-		sum.Write(buf[:])
+	for v := 0; v < ix.n; v++ {
+		nv := ix.View(hin.NodeID(v))
+		for _, step := range nv.walks {
+			binary.LittleEndian.PutUint32(buf[:], uint32(step))
+			sum.Write(buf[:])
+		}
 	}
 	return sum.Sum32()
 }
 
-// WriteTo serializes the index in the current (checksummed) format. The
-// graph itself is not stored; Load verifies the target graph's shape
-// via a fingerprint.
+// WriteTo serializes the index in the current default format (version
+// 3, compressed blocks). The graph itself is not stored; Load verifies
+// the target graph's shape via a fingerprint.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.writeToV3(w, DefaultBlockBytes)
+}
+
+// WriteToFormat serializes the index in an explicit format version —
+// FormatV2 for the legacy flat layout (readable by older builds),
+// FormatV3 for the compressed block layout. The `semsim convert`
+// subcommand uses it to up/downgrade existing files.
+func (ix *Index) WriteToFormat(w io.Writer, version int) (int64, error) {
+	switch version {
+	case FormatV2:
+		return ix.writeToV2(w)
+	case FormatV3:
+		return ix.writeToV3(w, DefaultBlockBytes)
+	default:
+		return 0, fmt.Errorf("walk: cannot write format version %d (writable: %d, %d)",
+			version, FormatV2, FormatV3)
+	}
+}
+
+// writeToV2 serializes the index in the flat checksummed v2 layout.
+func (ix *Index) writeToV2(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
 	put := func(v uint32) error {
@@ -81,7 +111,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	written += int64(len(indexMagic))
 	hdr := []uint32{
-		indexVersion, uint32(ix.n), uint32(ix.nw), uint32(ix.t),
+		FormatV2, uint32(ix.n), uint32(ix.nw), uint32(ix.t),
 		uint32(ix.g.NumEdges()), ix.payloadCRC(),
 	}
 	for _, v := range hdr {
@@ -90,72 +120,89 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	buf := make([]byte, 4)
-	for _, step := range ix.walks {
-		binary.LittleEndian.PutUint32(buf, uint32(step))
-		n, err := bw.Write(buf)
-		written += int64(n)
-		if err != nil {
-			return written, err
+	for v := 0; v < ix.n; v++ {
+		nv := ix.View(hin.NodeID(v))
+		for _, step := range nv.walks {
+			binary.LittleEndian.PutUint32(buf, uint32(step))
+			n, err := bw.Write(buf)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
 		}
 	}
 	return written, bw.Flush()
 }
 
-// Load deserializes an index previously written with WriteTo, attaching
-// it to g. It fails with a descriptive error if the stored dimensions or
-// the graph fingerprint do not match g, if the file is truncated, or if
-// (version >= 2) the payload checksum does not match. Legacy version-1
-// files without a checksum are still accepted.
-func Load(r io.Reader, g *hin.Graph) (*Index, error) {
-	br := bufio.NewReader(r)
+// readHeader consumes the magic, version word and the four dimension
+// words shared by every format version.
+func readHeader(br *bufio.Reader) (version uint32, n, nw, t, edges int, err error) {
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("walk: reading magic: %w", err)
+	if _, err = io.ReadFull(br, magic); err != nil {
+		return 0, 0, 0, 0, 0, fmt.Errorf("walk: reading magic: %w", err)
 	}
 	if string(magic) != indexMagic {
-		return nil, fmt.Errorf("walk: bad magic %q", magic)
+		return 0, 0, 0, 0, 0, fmt.Errorf("walk: bad magic %q", magic)
 	}
-	get := func() (uint32, error) {
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:]), nil
-	}
-	version, err := get()
-	if err != nil {
-		return nil, fmt.Errorf("walk: reading header: %w", err)
-	}
-	var checked bool
-	switch version {
-	case indexVersionLegacy:
-	case indexVersion:
-		checked = true
-	default:
-		return nil, fmt.Errorf("walk: unsupported index version %d (supported: %d, %d)",
-			version, indexVersionLegacy, indexVersion)
-	}
-	hdr := make([]uint32, 4)
+	var hdr [5]uint32
 	for i := range hdr {
-		v, err := get()
-		if err != nil {
-			return nil, fmt.Errorf("walk: reading header: %w", err)
+		var buf [4]byte
+		if _, err = io.ReadFull(br, buf[:]); err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("walk: reading header: %w", err)
 		}
-		hdr[i] = v
+		hdr[i] = binary.LittleEndian.Uint32(buf[:])
 	}
-	n, nw, t, edges := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
-	var wantCRC uint32
-	if checked {
-		if wantCRC, err = get(); err != nil {
-			return nil, fmt.Errorf("walk: reading checksum: %w", err)
-		}
-	}
+	return hdr[0], int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4]), nil
+}
+
+// checkDims validates the stored dimensions against the target graph
+// and the header caps — shared by every format's load path.
+func checkDims(g *hin.Graph, n, nw, t, edges int) error {
 	if n != g.NumNodes() || edges != g.NumEdges() {
-		return nil, fmt.Errorf("walk: index built for %d nodes / %d edges, graph has %d / %d",
+		return fmt.Errorf("walk: index built for %d nodes / %d edges, graph has %d / %d",
 			n, edges, g.NumNodes(), g.NumEdges())
 	}
 	if nw < 1 || t < 1 || nw > maxLoadWalks || t > maxLoadLength {
-		return nil, fmt.Errorf("walk: corrupt header: numWalks=%d length=%d", nw, t)
+		return fmt.Errorf("walk: corrupt header: numWalks=%d length=%d", nw, t)
+	}
+	return nil
+}
+
+// Load deserializes an index previously written with WriteTo (any
+// format version), attaching it to g. It fails with a descriptive error
+// if the stored dimensions or the graph fingerprint do not match g, if
+// the file is truncated, or if a payload/block checksum does not match.
+// Legacy version-1 files without a checksum are still accepted. The
+// result is fully resident; use OpenLazy for the demand-paged mode.
+func Load(r io.Reader, g *hin.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	version, n, nw, t, edges, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case FormatV1, FormatV2:
+		return loadFlat(br, g, version == FormatV2, n, nw, t, edges)
+	case FormatV3:
+		return loadV3(br, g, n, nw, t, edges)
+	default:
+		return nil, fmt.Errorf("walk: unsupported index version %d (supported: %d, %d, %d)",
+			version, FormatV1, FormatV2, FormatV3)
+	}
+}
+
+// loadFlat reads the v1/v2 flat int32 payload.
+func loadFlat(br *bufio.Reader, g *hin.Graph, checked bool, n, nw, t, edges int) (*Index, error) {
+	var wantCRC uint32
+	if checked {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("walk: reading checksum: %w", err)
+		}
+		wantCRC = binary.LittleEndian.Uint32(buf[:])
+	}
+	if err := checkDims(g, n, nw, t, edges); err != nil {
+		return nil, err
 	}
 	ix := &Index{g: g, n: n, nw: nw, t: t, stride: t + 1}
 	// The walk buffer grows with the bytes actually read rather than

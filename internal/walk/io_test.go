@@ -60,9 +60,10 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
+	// The byte offsets below are specific to the flat v2 layout.
 	var buf bytes.Buffer
-	if _, err := ix.WriteTo(&buf); err != nil {
-		t.Fatalf("WriteTo: %v", err)
+	if _, err := ix.WriteToFormat(&buf, FormatV2); err != nil {
+		t.Fatalf("WriteToFormat: %v", err)
 	}
 	data := buf.Bytes()
 
@@ -130,8 +131,8 @@ func TestLoadChecksum(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	var buf bytes.Buffer
-	if _, err := ix.WriteTo(&buf); err != nil {
-		t.Fatalf("WriteTo: %v", err)
+	if _, err := ix.WriteToFormat(&buf, FormatV2); err != nil {
+		t.Fatalf("WriteToFormat: %v", err)
 	}
 	data := buf.Bytes()
 

@@ -43,6 +43,9 @@ type RefreshStats struct {
 // recomputed, so the old index keeps serving an older snapshot while
 // the refreshed one is assembled.
 func (ix *Index) Refresh(newG *hin.Graph, changed []hin.NodeID, seed int64) (*Index, *RefreshStats, error) {
+	if ix.lazy != nil {
+		return ix.refreshLazy(newG, changed, seed)
+	}
 	n2 := newG.NumNodes()
 	if n2 < ix.n {
 		return nil, nil, fmt.Errorf("walk: refresh cannot remove nodes (%d -> %d); rebuild",

@@ -39,6 +39,11 @@ type Index struct {
 	// drop the two per-step Stop comparisons from the hottest loop in
 	// the repository (every Monte-Carlo query runs n_w Meet scans).
 	lens []int32
+	// lazy, when non-nil, replaces the resident slabs: walks/lens are
+	// nil and every accessor decodes v3 blocks on demand through the
+	// shared block cache (see lazy.go). All read APIs behave
+	// identically in both modes.
+	lazy *lazyStore
 }
 
 // Options configure Build.
@@ -144,21 +149,30 @@ func Build(g *hin.Graph, opts Options) (*Index, error) {
 func (ix *Index) sampleWalk(v hin.NodeID, i int, rng *rng) {
 	si := int(v)*ix.nw + i
 	w := ix.walks[si*ix.stride : (si+1)*ix.stride]
+	ix.lens[si] = sampleInto(ix.g, v, w, ix.t, rng)
+}
+
+// sampleInto draws one uniform reversed walk from v into w (which must
+// have length t+1), filling the tail with Stop, and returns the live
+// length. It is the sampling core shared by Build, Refresh and
+// BuildStreaming — all three must draw identical walks for identical
+// RNG streams, so there is exactly one copy of this loop.
+func sampleInto(g *hin.Graph, v hin.NodeID, w []int32, t int, rng *rng) int32 {
 	w[0] = int32(v)
 	cur := v
-	for s := 1; s <= ix.t; s++ {
-		in := ix.g.InNeighbors(cur)
+	for s := 1; s <= t; s++ {
+		in := g.InNeighbors(cur)
 		if len(in) == 0 {
-			ix.lens[si] = int32(s)
-			for ; s <= ix.t; s++ {
+			l := int32(s)
+			for ; s <= t; s++ {
 				w[s] = Stop
 			}
-			return
+			return l
 		}
 		cur = in[rng.intn(len(in))]
 		w[s] = int32(cur)
 	}
-	ix.lens[si] = int32(ix.stride)
+	return int32(t + 1)
 }
 
 // fillLens derives the per-walk live-length table from the walk storage.
@@ -184,6 +198,62 @@ func (ix *Index) slot(v hin.NodeID, i int) []int32 {
 	return ix.walks[base : base+ix.stride]
 }
 
+// NodeView is a borrowed view of one node's walks: n_w walks of stride
+// positions each, plus their live lengths. For a resident index the
+// view aliases the index slabs directly (zero allocation); for a lazy
+// index it pins the decoded block, so holding a view keeps its data
+// valid even if the block is evicted from the cache concurrently.
+//
+// Fetch a view once per query node and read all n_w walks through it —
+// that is one cache probe instead of n_w in lazy mode, and identical
+// code generation to the old direct-slab indexing in resident mode.
+type NodeView struct {
+	walks  []int32 // nw walks, walk-major, stride positions each
+	lens   []int32 // nw live lengths
+	stride int
+}
+
+// Walk returns the i-th walk of the view: positions 0..t, Stop-padded.
+func (nv NodeView) Walk(i int) []int32 {
+	return nv.walks[i*nv.stride : (i+1)*nv.stride]
+}
+
+// Len reports the number of live (non-Stop) positions of walk i.
+func (nv NodeView) Len(i int) int { return int(nv.lens[i]) }
+
+// View returns the walk view of node v.
+func (ix *Index) View(v hin.NodeID) NodeView {
+	if ix.lazy != nil {
+		return ix.lazy.view(v)
+	}
+	base := int(v) * ix.nw
+	return NodeView{
+		walks:  ix.walks[base*ix.stride : (base+ix.nw)*ix.stride],
+		lens:   ix.lens[base : base+ix.nw],
+		stride: ix.stride,
+	}
+}
+
+// MeetViews is Meet over two already-fetched node views: the first
+// offset where walk i of both views is at the same node. Queries that
+// score many walks of the same node pair fetch the two views once and
+// call this per walk, keeping the lazy path to one cache probe per
+// node instead of one per step.
+func MeetViews(a, b NodeView, i int) (tau int, ok bool) {
+	lim := a.lens[i]
+	if l := b.lens[i]; l < lim {
+		lim = l
+	}
+	wa := a.walks[i*a.stride:]
+	wb := b.walks[i*b.stride:]
+	for s := 0; s < int(lim); s++ {
+		if wa[s] == wb[s] {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Graph returns the graph the index was built over.
 func (ix *Index) Graph() *hin.Graph { return ix.g }
 
@@ -194,8 +264,15 @@ func (ix *Index) NumWalks() int { return ix.nw }
 func (ix *Index) Length() int { return ix.t }
 
 // Walk returns the i-th walk from v: positions 0..t where position 0 is v
-// and Stop marks termination. The slice aliases internal storage.
-func (ix *Index) Walk(v hin.NodeID, i int) []int32 { return ix.slot(v, i) }
+// and Stop marks termination. The slice aliases internal storage (or a
+// pinned decoded block in lazy mode). Callers reading several walks of
+// the same node should fetch one View instead.
+func (ix *Index) Walk(v hin.NodeID, i int) []int32 {
+	if ix.lazy != nil {
+		return ix.lazy.view(v).Walk(i)
+	}
+	return ix.slot(v, i)
+}
 
 // Meet returns the first-meeting offset tau of the i-th coupled walk from
 // u and v: the smallest offset where both walks are at the same node
@@ -206,6 +283,9 @@ func (ix *Index) Walk(v hin.NodeID, i int) []int32 { return ix.slot(v, i) }
 // build time), so the loop body is a single equality comparison — no
 // per-step Stop checks.
 func (ix *Index) Meet(u, v hin.NodeID, i int) (tau int, ok bool) {
+	if ix.lazy != nil {
+		return MeetViews(ix.lazy.view(u), ix.lazy.view(v), i)
+	}
 	su := int(u)*ix.nw + i
 	sv := int(v)*ix.nw + i
 	lim := ix.lens[su]
@@ -226,11 +306,34 @@ func (ix *Index) Meet(u, v hin.NodeID, i int) (tau int, ok bool) {
 // in [1, Length()+1]. Callers iterating a walk can bound their loop with
 // it instead of testing each step against Stop.
 func (ix *Index) WalkLen(v hin.NodeID, i int) int {
+	if ix.lazy != nil {
+		return ix.lazy.view(v).Len(i)
+	}
 	return int(ix.lens[int(v)*ix.nw+i])
 }
 
 // MemoryBytes estimates the index storage, reported by the preprocessing
-// experiment.
+// experiment. For a lazy index this is the cache budget plus overlay —
+// the amount of walk data the process is allowed to keep resident — not
+// the (larger) decoded size of the whole file.
 func (ix *Index) MemoryBytes() int64 {
+	if ix.lazy != nil {
+		return ix.lazy.memoryBytes()
+	}
 	return int64(len(ix.walks))*4 + int64(len(ix.lens))*4
+}
+
+// Lazy reports whether the index serves from the demand-paged block
+// cache (OpenLazy) rather than fully-resident slabs.
+func (ix *Index) Lazy() bool { return ix.lazy != nil }
+
+// Close releases resources held by a lazy index (the underlying file
+// handle). It is a no-op for resident indexes and for lazy indexes that
+// share their file with a newer epoch (only the final Close of a
+// lazyFile closes the handle).
+func (ix *Index) Close() error {
+	if ix.lazy != nil {
+		return ix.lazy.close()
+	}
+	return nil
 }

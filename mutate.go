@@ -276,6 +276,12 @@ func (m *Mutator) Commit() (CommitStats, error) {
 
 	ix.baseSem = newBase
 	ix.snap.Store(snap)
+	if cur.walks.Lazy() {
+		// The superseded epoch's walk index holds a reference on the
+		// shared walk file; park it so Index.Close can release the chain.
+		// (Resident epochs hold nothing that needs explicit release.)
+		ix.retired = append(ix.retired, cur.walks)
+	}
 	commitLat.ObserveSince(t0)
 	ix.metrics.Counter("semsim_commit_total",
 		"Mutation batches committed.").Inc()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -70,6 +71,18 @@ type IndexOptions struct {
 	// index, enabling SingleSource queries and collision-driven TopK
 	// (cost: one extra pass over the walks plus ~2x walk storage).
 	MeetIndex bool
+	// LazyWalks selects the lazy walk residency mode in OpenIndexFile:
+	// only the v3 block directory is read up front, and walk blocks are
+	// decoded on demand into a bounded cache — indexes larger than RAM
+	// serve, at the price of a cache probe per query node. Requires a
+	// v3-format walk file (see Index.SaveWalksFormat / semsim convert).
+	// BuildIndex and LoadIndex ignore it: a freshly sampled index is
+	// resident by construction, and a stream has no random access.
+	LazyWalks bool
+	// WalkCacheBytes caps the decoded bytes the lazy block cache keeps
+	// resident (<= 0 uses the walk package default, 64 MiB). Only
+	// meaningful with LazyWalks.
+	WalkCacheBytes int64
 	// Workers sizes the scoring pool used by TopK, SingleSource and
 	// BatchQuery. 0 uses runtime.NumCPU(); 1 forces serial scoring.
 	Workers int
@@ -190,8 +203,13 @@ type Index struct {
 	// the original build options and the raw (pre-kernel) measure.
 	opts    IndexOptions
 	baseSem Measure
-	// mu serializes Mutator commits; queries never take it.
+	// mu serializes Mutator commits; queries never take it. It also
+	// guards retired.
 	mu sync.Mutex
+	// retired collects superseded lazy walk indexes (each holds a
+	// reference on the shared walk file) so Close can release the file
+	// handle; resident epochs need no release and are not tracked.
+	retired []*walk.Index
 }
 
 // snapshot is one immutable epoch of the index: every read-only
@@ -520,16 +538,25 @@ func (ix *Index) ExplainQuery(u, v NodeID) (*Explanation, error) {
 	}, nil
 }
 
-// Close releases the index's background machinery — today the shadow
-// verifier's worker, draining any queued verifications before
-// returning. An index built without ShadowRate has nothing to release;
-// Close is then a no-op. Close the index at most once, after all
-// in-flight queries finish.
+// Close releases the index's background machinery: the shadow
+// verifier's worker (draining any queued verifications) and, for an
+// index opened with LazyWalks, the walk file handle shared by every
+// epoch's walk index. An index built without either has nothing to
+// release; Close is then a no-op. Close the index at most once, after
+// all in-flight queries finish.
 func (ix *Index) Close() {
 	if ix.shadow != nil {
 		ix.shadow.Close()
 		ix.shadow = nil
 	}
+	ix.mu.Lock()
+	retired := ix.retired
+	ix.retired = nil
+	ix.mu.Unlock()
+	for _, w := range retired {
+		w.Close()
+	}
+	ix.snap.Load().walks.Close()
 }
 
 // PlanStrategy reports the execution strategy the adaptive planner
@@ -646,11 +673,78 @@ func (ix *Index) Metrics() *Metrics {
 	return ix.metrics
 }
 
-// SaveWalks persists the precomputed walk index; LoadIndex restores it
-// without resampling (the dominant preprocessing cost).
+// SaveWalks persists the precomputed walk index in the current default
+// on-disk format (v3, compressed blocks); LoadIndex and OpenIndexFile
+// restore it without resampling (the dominant preprocessing cost).
 func (ix *Index) SaveWalks(w io.Writer) error {
 	_, err := ix.snap.Load().walks.WriteTo(w)
 	return err
+}
+
+// WalkFormats lists the walk-file format names SaveWalksFormat and
+// ConvertWalks accept.
+func WalkFormats() []string { return []string{"v2", "v3"} }
+
+// walkFormatVersion maps a CLI-facing format name to the walk package's
+// version number. "" picks the current default.
+func walkFormatVersion(format string) (int, error) {
+	switch format {
+	case "v2":
+		return walk.FormatV2, nil
+	case "", "v3":
+		return walk.FormatV3, nil
+	}
+	return 0, fmt.Errorf("semsim: unknown walk format %q (have: v2, v3)", format)
+}
+
+// SaveWalksFormat persists the walk index in an explicit format: "v2"
+// is the legacy flat layout (readable by older builds), "v3" (or "")
+// the compressed block layout — typically 2.5-4x smaller and the only
+// format LazyWalks can open.
+func (ix *Index) SaveWalksFormat(w io.Writer, format string) error {
+	v, err := walkFormatVersion(format)
+	if err != nil {
+		return err
+	}
+	_, err = ix.snap.Load().walks.WriteToFormat(w, v)
+	return err
+}
+
+// ConvertWalks re-encodes a saved walk index between on-disk formats
+// ("v2" flat, "v3" compressed blocks) without rebuilding the walks. The
+// graph the walks were sampled for is required: v3 compresses steps
+// against its in-neighbor lists, and the source file's fingerprint is
+// verified against it. Returns the bytes written.
+func ConvertWalks(r io.Reader, g *Graph, w io.Writer, format string) (int64, error) {
+	v, err := walkFormatVersion(format)
+	if err != nil {
+		return 0, err
+	}
+	walks, err := walk.Load(r, g)
+	if err != nil {
+		return 0, err
+	}
+	return walks.WriteToFormat(w, v)
+}
+
+// WalkCacheResidentBytes reports the decoded bytes currently resident
+// in the lazy walk-block cache (0 for a resident index) — the live
+// value behind the semsim_walk_cache_resident_bytes gauge.
+func (ix *Index) WalkCacheResidentBytes() int64 {
+	return ix.snap.Load().walks.CacheResidentBytes()
+}
+
+// LazyWalks reports whether the current epoch serves walks lazily from
+// a v3 walk file (OpenIndexFile with IndexOptions.LazyWalks).
+func (ix *Index) LazyWalks() bool {
+	return ix.snap.Load().walks.Lazy()
+}
+
+// DecodeErrors reports how many lazy walk-block decodes have failed
+// since open (0 for a resident index). Nonzero means some queries were
+// answered from degraded (stopped) walks for the affected nodes.
+func (ix *Index) DecodeErrors() int64 {
+	return ix.snap.Load().walks.DecodeErrors()
 }
 
 // LoadIndex rebuilds an Index from walks previously saved with SaveWalks,
@@ -671,6 +765,46 @@ func LoadIndex(r io.Reader, g *Graph, sem Measure, opts IndexOptions) (*Index, e
 	}
 	idx, err := newIndex(g, sem, walks, opts)
 	if err != nil {
+		return nil, err
+	}
+	buildLat.ObserveSince(t0)
+	return idx, nil
+}
+
+// OpenIndexFile rebuilds an Index from a walk file previously saved
+// with SaveWalks, choosing the residency mode from opts: with LazyWalks
+// the file's block directory is mapped and walk blocks decode on demand
+// into a cache capped at WalkCacheBytes — indexes larger than RAM serve
+// — otherwise the file is fully loaded as LoadIndex would. Lazy opening
+// requires the v3 format (`semsim convert` upgrades older files). Call
+// Index.Close when done: it releases the walk file handle.
+func OpenIndexFile(path string, g *Graph, sem Measure, opts IndexOptions) (*Index, error) {
+	if !opts.LazyWalks {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return LoadIndex(f, g, sem, opts)
+	}
+	if opts.C == 0 {
+		opts.C = 0.6
+	}
+	buildLat := opts.Metrics.Histogram("semsim_build_seconds",
+		"end-to-end BuildIndex wall time", nil)
+	t0 := buildLat.Start()
+	sp := opts.Trace.Start("open-walks-lazy")
+	walks, err := walk.OpenLazyFile(path, g, walk.LazyOptions{
+		CacheBytes: opts.WalkCacheBytes,
+		Metrics:    opts.Metrics,
+	})
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := newIndex(g, sem, walks, opts)
+	if err != nil {
+		walks.Close()
 		return nil, err
 	}
 	buildLat.ObserveSince(t0)
