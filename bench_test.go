@@ -365,6 +365,58 @@ func BenchmarkQuerySemSimPrunedSLINGMetrics(b *testing.B) {
 // workload and pairs as BenchmarkQuerySemSimPrunedSLING; scores are
 // bit-identical (asserted below), only the per-step lookups change —
 // sem(u,v) and SO(a,b) each become one array read.
+// BenchmarkQueryCostOff / BenchmarkQueryCostOn are the cost-accounting
+// overhead twins: the same warm pruned+SLING single-pair query with
+// accounting disabled (nil *Cost — the production default path) and
+// enabled (a reused stack accumulator, as serve threads per request).
+// The bench-drift guard holds their allocation counts equal (both 0 on
+// the warm path) and their latency within the drift budget, enforcing
+// the "accounting is free when off, cheap when on" contract.
+func BenchmarkQueryCostOff(b *testing.B) {
+	e := env(b)
+	for i := 0; i < 1024; i++ {
+		u, v := pairAt(e, i)
+		e.prn.QueryCost(u, v, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		e.prn.QueryCost(u, v, nil)
+	}
+}
+
+func BenchmarkQueryCostOn(b *testing.B) {
+	e := env(b)
+	var c obs.Cost
+	for i := 0; i < 1024; i++ {
+		u, v := pairAt(e, i)
+		e.prn.QueryCost(u, v, &c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := pairAt(e, i)
+		c = obs.Cost{}
+		e.prn.QueryCost(u, v, &c)
+	}
+}
+
+// BenchmarkTopKCostOn is the accounting-enabled twin of the parallel
+// top-k path (worker-local accumulators merged after the join).
+func BenchmarkTopKCostOn(b *testing.B) {
+	e := env(b)
+	n := e.d.Graph.NumNodes()
+	var c obs.Cost
+	e.prn.TopKCost(0, 10, &c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c = obs.Cost{}
+		e.prn.TopKCost(hin.NodeID(i%n), 10, &c)
+	}
+}
+
 func BenchmarkQuerySemSimKernel(b *testing.B) {
 	e := env(b)
 	for i := 0; i < 1024; i++ {

@@ -9,7 +9,11 @@
 #      cmd/loadgen for ~5s and asserts nonzero throughput, zero 5xx
 #      and a sane p99 (the serving-SLO smoke: burn-rate gauges,
 #      build_info and the profile counters are all in the linted
-#      scrape, and the trace log fills with sampled spans), and the
+#      scrape, and the trace log fills with sampled spans), then the
+#      diagnostics smoke: the flight recorder and heavy-hitters
+#      endpoints are live, the per-query cost histograms observed the
+#      traffic, and `semsim diag` pulls /debug/diag into a bundle whose
+#      flight records join the query log by request ID, and the
 #      capacity smoke: datagen -stream emits a v3 walk file, convert
 #      round-trips it through v2, and serve answers from it demand-paged
 #      (-lazy-walks) under a tiny block-cache budget
@@ -48,6 +52,7 @@ go build -o "$tmpdir/loadgen" ./cmd/loadgen
 go run ./cmd/datagen -dataset aminer -size 200 -seed 1 -out "$tmpdir/smoke.hin"
 "$tmpdir/semsim" serve -graph "$tmpdir/smoke.hin" -debug-addr 127.0.0.1:0 \
     -nw 40 -t 6 -query-log "$tmpdir/query.ndjson" -query-log-max-bytes 262144 \
+    -query-log-max-generations 8 \
     -slo-latency 250ms -slo-window 1m \
     -trace-log "$tmpdir/trace.ndjson" -trace-sample 0.1 \
     -profile-p99 2s 2> "$tmpdir/serve.log" &
@@ -90,6 +95,38 @@ if grep '^semsim_shadow_drift_total{severity="critical"}' "$tmpdir/metrics.after
     | grep -qv ' 0$'; then
     echo "ci: shadow verifier saw critical drift under mutate churn"; exit 1
 fi
+echo "==> tier 1: diagnostics bundle smoke (/debug/diag + semsim diag round-trip)"
+# Flight recorder: the loadgen traffic above must be in the ring, and
+# its deterministic lg-* request IDs must join back to the query log.
+curl -sf "http://$addr/debug/flight" > "$tmpdir/flight.ndjson"
+grep -q '"request_id":"lg-1-' "$tmpdir/flight.ndjson" \
+    || { echo "ci: flight recorder holds no loadgen request IDs"; exit 1; }
+grep -q '"endpoint":"/mutate"' "$tmpdir/flight.ndjson" \
+    || { echo "ci: flight recorder missed the mutation commits"; exit 1; }
+curl -sf "http://$addr/debug/heavy" > "$tmpdir/heavy.json"
+grep -q '"count":' "$tmpdir/heavy.json" \
+    || { echo "ci: heavy-hitters tracker is empty after loadgen traffic"; exit 1; }
+grep -q '^semsim_query_cost_walk_steps_count [1-9]' "$tmpdir/metrics.after" \
+    || { echo "ci: per-query cost histograms never observed a request"; exit 1; }
+"$tmpdir/semsim" diag -addr "$addr" -out "$tmpdir/diag" > "$tmpdir/diag.log"
+for entry in metrics.prom expvar.json flight.ndjson profiles.json slo.json heavy.json buildinfo.json; do
+    [ -s "$tmpdir/diag/$entry" ] \
+        || { cat "$tmpdir/diag.log"; echo "ci: diag bundle entry $entry missing or empty"; exit 1; }
+done
+[ -f "$tmpdir/diag/traces.ndjson" ] \
+    || { echo "ci: diag bundle entry traces.ndjson missing"; exit 1; }
+grep -q '"enabled": true' "$tmpdir/diag/slo.json" \
+    || { echo "ci: diag slo.json does not reflect the armed SLO tracker"; exit 1; }
+# The bundled flight dump joins to the query log by request ID. The
+# log rotates under traffic, so -query-log-max-generations above must
+# keep enough generations to still hold the earliest request; search
+# every generation.
+join_id=$(sed -n 's|.*"endpoint":"/query","request_id":"\(lg-1-[0-9]*\)".*|\1|p' "$tmpdir/diag/flight.ndjson" | head -1)
+[ -n "$join_id" ] || { echo "ci: bundled flight dump holds no loadgen /query record"; exit 1; }
+cat "$tmpdir"/query.ndjson* | grep -q "\"request_id\":\"$join_id\"" \
+    || { echo "ci: flight request $join_id has no query-log line"; exit 1; }
+echo "    diag bundle green (flight/heavy/cost series live, bundle joins to query log)"
+
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""

@@ -8,6 +8,7 @@
 //	semsim exact  -graph g.hin -top 20 [flags]
 //	semsim serve  -graph g.hin -debug-addr :6060       (resident HTTP server, see serve.go)
 //	semsim convert -graph g.hin -in w.walks -out w2.walks -walk-format v3
+//	semsim diag   -addr HOST:PORT [-out DIR]           (fetch and unpack /debug/diag, see diag.go)
 //
 // Shared flags: -c decay factor, -theta pruning threshold, -nw walks per
 // node, -t walk length, -sling SO-cache cutoff, -seed, -backend engine
@@ -47,6 +48,14 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// diag talks to a running server; it needs no graph, so it parses its
+	// own flags and exits before the -graph requirement below.
+	if cmd == "diag" {
+		if err := runDiag(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		graphPath  = fs.String("graph", "", "path to the HIN text file (required)")
@@ -84,7 +93,9 @@ func main() {
 		queryLog = fs.String("query-log", "",
 			"serve: append one JSON wide event per request to this file ('-' = stdout)")
 		queryLogMax = fs.Int64("query-log-max-bytes", 0,
-			"serve: rotate the query log when it would exceed this size, keeping one .1 generation (0 = no rotation)")
+			"serve: rotate the query log when it would exceed this size (0 = no rotation)")
+		queryLogGens = fs.Int("query-log-max-generations", 1,
+			"serve: rotated query-log generations to keep (PATH.1 newest .. PATH.N oldest)")
 		healthEvery = fs.Duration("health-interval", 0,
 			"serve: runtime health poll interval (0 = 10s default)")
 		sloLatency = fs.Duration("slo-latency", 0,
@@ -242,6 +253,7 @@ func main() {
 			walksPath:        *loadWalks,
 			queryLogPath:     *queryLog,
 			queryLogMaxBytes: *queryLogMax,
+			queryLogMaxGens:  *queryLogGens,
 			healthInterval:   *healthEvery,
 			sloLatency:       *sloLatency,
 			sloObjective:     *sloObjective,
@@ -306,6 +318,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: semsim {info|query|topk|single|exact|serve|convert} -graph FILE [flags]")
+	fmt.Fprintln(os.Stderr, "       semsim diag -addr HOST:PORT [-out DIR]")
 }
 
 func fatal(v interface{}) {

@@ -14,6 +14,9 @@ package main
 //	/debug/vars            expvar (the registry publishes under "semsim")
 //	/debug/pprof/          net/http/pprof profiles
 //	/debug/profiles        ring of anomaly-triggered CPU+heap captures
+//	/debug/flight          flight recorder: recent requests+commits as NDJSON
+//	/debug/heavy           most expensive source nodes by cumulative query cost
+//	/debug/diag            one-shot diagnostics bundle (tar.gz of all of the above)
 //	/healthz               readiness probe: 503 while building/warming, 200 after
 //
 // Errors are structured JSON ({"error": "..."}) with meaningful status
@@ -48,7 +51,8 @@ package main
 // polls memory/GC/goroutine gauges every -health-interval
 // (semsim_runtime_* series). With -query-log PATH ("-" for stdout)
 // every request emits one structured JSON wide event
-// (-query-log-max-bytes adds size-based rotation to PATH.1). The
+// (-query-log-max-bytes adds size-based rotation, keeping
+// -query-log-max-generations rotated files PATH.1..PATH.N). The
 // serving-SLO layer is opt-in: -slo-latency sets the latency objective
 // threshold and enables the multi-window burn-rate gauges
 // (semsim_slo_*); -trace-log/-trace-sample write exported span traces
@@ -62,6 +66,9 @@ package main
 // final metrics snapshot is logged before the process exits.
 
 import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
@@ -84,6 +91,7 @@ import (
 
 	"semsim"
 	"semsim/internal/obs"
+	"semsim/internal/obs/flight"
 	"semsim/internal/obs/profwatch"
 	"semsim/internal/obs/quality"
 	"semsim/internal/obs/slo"
@@ -102,9 +110,11 @@ type serveConfig struct {
 	walksPath string
 	// queryLogPath, when non-empty, streams one JSON wide event per
 	// request to this file ("-" = stdout). queryLogMaxBytes > 0 adds
-	// size-based rotation (one .1 generation kept).
+	// size-based rotation keeping queryLogMaxGens rotated generations
+	// (PATH.1 newest; 0 or 1 keeps the historical single .1).
 	queryLogPath     string
 	queryLogMaxBytes int64
+	queryLogMaxGens  int
 	// healthInterval is the runtime health poll cadence (0 = default).
 	healthInterval time.Duration
 	// sloLatency arms the serving SLO tracker: requests slower than
@@ -189,7 +199,7 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 
 	var qlog *quality.QueryLog
 	if cfg.queryLogPath != "" {
-		w, closeLog, err := openLogSink(cfg.queryLogPath, cfg.queryLogMaxBytes)
+		w, closeLog, err := openLogSink(cfg.queryLogPath, cfg.queryLogMaxBytes, cfg.queryLogMaxGens)
 		if err != nil {
 			return fail(err)
 		}
@@ -219,7 +229,7 @@ func runServe(g *semsim.Graph, sem semsim.Measure, cfg serveConfig, ready chan<-
 	var tlog *obs.TraceLog
 	var sampler *obs.Sampler
 	if cfg.traceLogPath != "" {
-		w, closeTrace, err := openLogSink(cfg.traceLogPath, 0)
+		w, closeTrace, err := openLogSink(cfg.traceLogPath, 0, 0)
 		if err != nil {
 			return fail(err)
 		}
@@ -311,13 +321,14 @@ func warmingMux() *http.ServeMux {
 
 // openLogSink resolves an NDJSON log destination: "-" streams to
 // stdout, anything else appends to the named file — through a
-// size-rotating writer when maxBytes > 0.
-func openLogSink(path string, maxBytes int64) (io.Writer, func(), error) {
+// size-rotating writer when maxBytes > 0, keeping maxGens rotated
+// generations (values < 1 mean the historical single .1).
+func openLogSink(path string, maxBytes int64, maxGens int) (io.Writer, func(), error) {
 	if path == "-" {
 		return os.Stdout, func() {}, nil
 	}
 	if maxBytes > 0 {
-		rf, err := quality.OpenRotatingFile(path, maxBytes)
+		rf, err := quality.OpenRotatingFileGens(path, maxBytes, maxGens)
 		if err != nil {
 			return nil, nil, fmt.Errorf("semsim: open log sink: %w", err)
 		}
@@ -350,6 +361,107 @@ func registerBuildInfo(reg *semsim.Metrics, idx *semsim.Index) {
 		"go", runtime.Version()),
 		"Serving configuration identity (constant 1; the labels carry the information).",
 		func() float64 { return 1 })
+}
+
+// writeDiagBundle streams the diagnostics tar.gz: one archive holding
+// every observability surface a live incident review needs, captured at
+// a single instant — the Prometheus exposition, expvar state, the
+// flight-recorder dump, the retained trace records, the anomaly-profile
+// ring index, SLO burn rates, heavy hitters and the serving identity.
+// Entries are rendered to memory first (tar needs sizes up front); all
+// of them are bounded rings or snapshots, so the bundle stays small.
+func writeDiagBundle(w io.Writer, idx *semsim.Index, so *serveObs) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now()
+	add := func(name string, data []byte) error {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(data)), ModTime: now,
+		}); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	asJSON := func(v any) []byte {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			data, _ = json.Marshal(map[string]string{"error": err.Error()})
+		}
+		return append(data, '\n')
+	}
+
+	var prom bytes.Buffer
+	so.reg.WriteText(&prom)
+
+	var ev bytes.Buffer
+	ev.WriteString("{")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			ev.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&ev, "%q:%s", kv.Key, kv.Value.String())
+	})
+	ev.WriteString("}\n")
+
+	var fl bytes.Buffer
+	so.flightRing.Dump(&fl)
+
+	var traces bytes.Buffer
+	for _, rec := range so.traceSnapshot() {
+		if line, err := json.Marshal(rec); err == nil {
+			traces.Write(line)
+			traces.WriteByte('\n')
+		}
+	}
+
+	kernel := idx.KernelMode()
+	if kernel == "" {
+		kernel = "none"
+	}
+	residency := "resident"
+	if idx.LazyWalks() {
+		residency = "lazy"
+	}
+	buildinfo := map[string]any{
+		"time":           now,
+		"backend":        idx.Backend(),
+		"kernel":         kernel,
+		"walk_format":    walk.FormatVersion,
+		"walk_residency": residency,
+		"epoch":          idx.Epoch(),
+		"nodes":          idx.Graph().NumNodes(),
+		"go":             runtime.Version(),
+	}
+
+	entries := []struct {
+		name string
+		data []byte
+	}{
+		{"metrics.prom", prom.Bytes()},
+		{"expvar.json", ev.Bytes()},
+		{"flight.ndjson", fl.Bytes()},
+		{"traces.ndjson", traces.Bytes()},
+		{"profiles.json", asJSON(map[string]any{"captures": so.watcher.Captures()})},
+		{"slo.json", asJSON(so.slo.Snapshot())},
+		{"heavy.json", asJSON(map[string]any{
+			"capacity": heavyCapacity,
+			"tracked":  so.heavy.Len(),
+			"top":      so.heavy.Top(heavyCapacity),
+		})},
+		{"buildinfo.json", asJSON(buildinfo)},
+	}
+	for _, e := range entries {
+		if err := add(e.name, e.data); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
 }
 
 // logFinalSnapshot writes a one-line summary plus the full structured
@@ -422,9 +534,37 @@ type serveObs struct {
 	httpHist *obs.Histogram
 	reqTotal map[string]*obs.Counter
 
+	// costHists turns each request's Cost into the per-request
+	// semsim_query_cost_* histograms; heavy tracks the most expensive
+	// source nodes by cumulative Cost.Work (served at /debug/heavy);
+	// flightRing is the always-on flight recorder (served at
+	// /debug/flight and bundled by /debug/diag).
+	costHists  *obs.CostHists
+	heavy      *obs.HeavyHitters
+	flightRing *flight.Ring
+
+	// recentTraces is a small ring of the latest exported trace records
+	// kept in memory for the diagnostics bundle, so traces are available
+	// even when no -trace-log file is configured.
+	traceMu      sync.Mutex
+	recentTraces []obs.TraceRecord
+	traceNext    int
+	traceCount   int
+
 	idBase string
 	idSeq  atomic.Uint64
 }
+
+// flightRingSize is the flight recorder's capacity: at 1000 qps it holds
+// the last ~4 seconds of traffic, at 10 qps the last ~7 minutes — enough
+// to see what led up to an incident without unbounded memory.
+const flightRingSize = 4096
+
+// heavyCapacity bounds the heavy-hitters sketch (distinct tracked keys).
+const heavyCapacity = 64
+
+// recentTraceCap bounds the in-memory trace ring bundled by /debug/diag.
+const recentTraceCap = 256
 
 // newServeObs registers the HTTP-layer series and draws the random
 // request-ID prefix that makes IDs from different processes distinct.
@@ -435,7 +575,10 @@ func newServeObs(reg *semsim.Metrics, qlog *quality.QueryLog, tlog *obs.TraceLog
 		slo: tracker, watcher: watcher,
 		httpHist: reg.Histogram("semsim_http_request_seconds",
 			"End-to-end HTTP latency of the query API endpoints.", nil),
-		reqTotal: map[string]*obs.Counter{},
+		reqTotal:   map[string]*obs.Counter{},
+		costHists:  obs.NewCostHists(reg),
+		heavy:      obs.NewHeavyHitters(heavyCapacity, reg),
+		flightRing: flight.New(flightRingSize),
 	}
 	for _, ep := range []string{"/query", "/explain", "/topk", "/mutate"} {
 		so.reqTotal[ep] = reg.Counter(
@@ -459,6 +602,17 @@ type reqInfo struct {
 	id     string
 	trace  *semsim.Trace
 	status int
+
+	// cost is the request's cost accounting, filled by handlers that run
+	// the query through a costed entry point; costed marks it live (so a
+	// zero-cost request is still observed). costKey is the heavy-hitters
+	// attribution key (the source node name); epoch and strategy annotate
+	// the flight record.
+	cost     semsim.Cost
+	costed   bool
+	costKey  string
+	epoch    uint64
+	strategy string
 }
 
 // fail records the status and writes the shared JSON error shape.
@@ -515,13 +669,56 @@ func (so *serveObs) wrap(endpoint string, h func(http.ResponseWriter, *http.Requ
 		ctr.Inc()
 		so.httpHist.ObserveDuration(lat)
 		so.slo.Observe(lat, ri.status >= 500)
+		if ri.costed {
+			so.costHists.Observe(&ri.cost)
+			so.heavy.Observe(ri.costKey, ri.cost.Work())
+		}
+		so.flightRing.Record(flight.Record{
+			TimeNS:    t0.UnixNano(),
+			Endpoint:  endpoint,
+			RequestID: ri.id,
+			Epoch:     ri.epoch,
+			Strategy:  ri.strategy,
+			Status:    ri.status,
+			ErrClass:  flight.ClassifyStatus(ri.status),
+			LatencyNS: int64(lat),
+			Cost:      ri.cost,
+		})
 		if ri.trace != nil {
 			rec := ri.trace.Export()
 			rec.Time = time.Now()
 			rec.RequestID = ri.id
 			so.tracelog.Log(rec)
+			so.keepTrace(rec)
 		}
 	}
+}
+
+// keepTrace retains rec in the fixed-size in-memory ring the diag bundle
+// reads, independent of whether a trace log file is configured.
+func (so *serveObs) keepTrace(rec obs.TraceRecord) {
+	so.traceMu.Lock()
+	if so.recentTraces == nil {
+		so.recentTraces = make([]obs.TraceRecord, recentTraceCap)
+	}
+	so.recentTraces[so.traceNext] = rec
+	so.traceNext = (so.traceNext + 1) % recentTraceCap
+	if so.traceCount < recentTraceCap {
+		so.traceCount++
+	}
+	so.traceMu.Unlock()
+}
+
+// traceSnapshot copies the retained trace records oldest-first.
+func (so *serveObs) traceSnapshot() []obs.TraceRecord {
+	so.traceMu.Lock()
+	defer so.traceMu.Unlock()
+	out := make([]obs.TraceRecord, 0, so.traceCount)
+	start := so.traceNext - so.traceCount
+	for i := 0; i < so.traceCount; i++ {
+		out = append(out, so.recentTraces[(start+i+recentTraceCap)%recentTraceCap])
+	}
+	return out
 }
 
 // newServeMux mounts the query API and the debug surfaces. Handlers
@@ -566,10 +763,11 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			return
 		}
 		sp = ri.trace.Start("score")
-		score := idx.Query(u, v)
+		score := idx.QueryCost(u, v, &ri.cost)
 		semScore := idx.Sem().Sim(u, v)
 		simrank := idx.SimRankQuery(u, v)
 		sp.End()
+		ri.costed, ri.costKey, ri.epoch = true, g.NodeName(u), idx.Epoch()
 		sp = ri.trace.Start("encode")
 		writeJSON(w, map[string]any{
 			"u":       g.NodeName(u),
@@ -577,6 +775,7 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			"sem":     semScore,
 			"semsim":  score,
 			"simrank": simrank,
+			"cost":    &ri.cost,
 		})
 		sp.End()
 		qlog.Log(quality.QueryEvent{
@@ -586,6 +785,7 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			LatencySeconds: time.Since(t0).Seconds(),
 			Backend:        idx.Backend(),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
+			Cost:           &ri.cost,
 		})
 	}))
 
@@ -610,6 +810,7 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			return
 		}
 		ex.UName, ex.VName = g.NodeName(u), g.NodeName(v)
+		ri.cost, ri.costed, ri.costKey, ri.epoch = ex.Cost, true, ex.UName, idx.Epoch()
 		sp = ri.trace.Start("encode")
 		writeJSON(w, ex)
 		sp.End()
@@ -621,6 +822,7 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			Backend:        ex.Backend,
 			CIWidth:        ex.CIWidth(),
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
+			Cost:           &ri.cost,
 		})
 	}))
 
@@ -646,14 +848,16 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			Score float64 `json:"score"`
 		}
 		sp = ri.trace.Start("topk")
-		results := idx.TopK(u, k)
+		results := idx.TopKCost(u, k, &ri.cost)
 		sp.End()
+		ri.costed, ri.costKey = true, g.NodeName(u)
+		ri.epoch, ri.strategy = idx.Epoch(), idx.PlanStrategy(k)
 		hits := []hit{}
 		for _, s := range results {
 			hits = append(hits, hit{g.NodeName(s.Node), s.Score})
 		}
 		sp = ri.trace.Start("encode")
-		writeJSON(w, map[string]any{"u": g.NodeName(u), "k": k, "results": hits})
+		writeJSON(w, map[string]any{"u": g.NodeName(u), "k": k, "results": hits, "cost": &ri.cost})
 		sp.End()
 		qlog.Log(quality.QueryEvent{
 			RequestID: ri.id,
@@ -661,8 +865,9 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			Status: http.StatusOK, Results: len(hits),
 			LatencySeconds: time.Since(t0).Seconds(),
 			Backend:        idx.Backend(),
-			Strategy:       idx.PlanStrategy(k),
+			Strategy:       ri.strategy,
 			CacheHitRatio:  idx.CacheSummary().HitRatio,
+			Cost:           &ri.cost,
 		})
 	}))
 
@@ -754,6 +959,7 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 			ri.fail(w, status, err.Error())
 			return
 		}
+		ri.epoch = st.Epoch
 		writeJSON(w, map[string]any{
 			"epoch":           st.Epoch,
 			"ops":             st.Ops,
@@ -786,6 +992,45 @@ func newServeMux(idx *semsim.Index, so *serveObs) *http.ServeMux {
 	profiles := so.watcher.Handler("/debug/profiles")
 	mux.Handle("/debug/profiles", profiles)
 	mux.Handle("/debug/profiles/", profiles)
+
+	// The flight recorder: the last flightRingSize wide events (queries
+	// and mutation commits) as NDJSON, oldest first.
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		so.flightRing.Dump(w)
+	})
+
+	// The heavy-hitters sketch: the most expensive source nodes by
+	// cumulative cost (?n= bounds the list, default 20).
+	mux.HandleFunc("/debug/heavy", func(w http.ResponseWriter, r *http.Request) {
+		n := 20
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, map[string]any{
+			"capacity": heavyCapacity,
+			"tracked":  so.heavy.Len(),
+			"top":      so.heavy.Top(n),
+		})
+	})
+
+	// The one-shot diagnostics bundle: everything an incident review
+	// needs in a single tar.gz download.
+	mux.HandleFunc("/debug/diag", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="semsim-diag.tar.gz"`)
+		if err := writeDiagBundle(w, idx, so); err != nil {
+			// Headers are gone; all we can do is drop the connection
+			// so the client sees a truncated archive, not a clean EOF.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+		}
+	})
 
 	// Readiness: this mux only ever serves after build+warmup, so a 200
 	// here means the index answers queries.

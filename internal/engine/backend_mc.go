@@ -5,6 +5,7 @@ import (
 
 	"semsim/internal/hin"
 	"semsim/internal/mc"
+	"semsim/internal/obs"
 	"semsim/internal/rank"
 	"semsim/internal/walk"
 )
@@ -100,19 +101,47 @@ func (b *mcBackend) defaultStrategy() Strategy {
 }
 
 func (b *mcBackend) runTopK(u hin.NodeID, k int, s Strategy) []rank.Scored {
+	return b.runTopKCost(u, k, s, nil)
+}
+
+// runTopKCost is runTopK threading a cost accumulator into whichever
+// strategy executes (nil co is exactly runTopK — the estimator's costed
+// entry points are their plain twins under a nil Cost).
+func (b *mcBackend) runTopKCost(u hin.NodeID, k int, s Strategy, co *obs.Cost) []rank.Scored {
 	switch s {
 	case StrategyCollision:
 		if b.meet != nil {
-			return b.est.TopKWithIndex(u, k, b.meet)
+			return b.est.TopKWithIndexCost(u, k, b.meet, co)
 		}
 		// Planner misconfiguration shouldn't lose the query; the brute
 		// scan answers everything the collision path can.
-		return b.est.TopK(u, k)
+		return b.est.TopKCost(u, k, co)
 	case StrategySemBounded:
-		return b.est.TopKSemBounded(u, k)
+		return b.est.TopKSemBoundedCost(u, k, co)
 	default:
-		return b.est.TopK(u, k)
+		return b.est.TopKCost(u, k, co)
 	}
+}
+
+// QueryCost implements CostRunner: Query charging the pair's work to co.
+func (b *mcBackend) QueryCost(u, v hin.NodeID, co *obs.Cost) (float64, error) {
+	if err := CheckPair(b.g, u, v); err != nil {
+		return 0, err
+	}
+	return b.est.QueryCost(u, v, co), nil
+}
+
+// TopKCost implements CostRunner: TopK (planner-routed) charging the
+// scan's work to co.
+func (b *mcBackend) TopKCost(u hin.NodeID, k int, co *obs.Cost) ([]rank.Scored, error) {
+	if err := CheckNode(b.g, u); err != nil {
+		return nil, err
+	}
+	s := b.defaultStrategy()
+	if b.planner != nil {
+		s = b.planner.TopKStrategy(k)
+	}
+	return b.runTopKCost(u, k, s, co), nil
 }
 
 func (b *mcBackend) SingleSource(u hin.NodeID) ([]rank.Scored, error) {

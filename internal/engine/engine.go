@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"semsim/internal/hin"
+	"semsim/internal/obs"
 	"semsim/internal/rank"
 )
 
@@ -88,6 +89,16 @@ type Backend interface {
 // meet-index path), which are now thin shims forcing one strategy.
 type StrategyRunner interface {
 	TopKWithStrategy(u hin.NodeID, k int, s Strategy) ([]rank.Scored, error)
+}
+
+// CostRunner is implemented by backends that support per-query cost
+// accounting: the costed entry points behave exactly like Query/TopK
+// while charging the work performed to co (see obs.Cost). Callers
+// type-assert and fall back to the plain entry points — a backend
+// without accounting still answers, it just reports a zero Cost.
+type CostRunner interface {
+	QueryCost(u, v hin.NodeID, co *obs.Cost) (float64, error)
+	TopKCost(u hin.NodeID, k int, co *obs.Cost) ([]rank.Scored, error)
 }
 
 // ErrNoSingleSource is returned by backends that cannot enumerate

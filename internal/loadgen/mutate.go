@@ -70,6 +70,7 @@ func (r *Runner) mutateLoop(ctx context.Context) {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Semsim-Request", r.requestID())
 		resp, err := r.client.Do(req)
 		if err != nil {
 			if ctx.Err() == nil {

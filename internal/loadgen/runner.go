@@ -118,6 +118,16 @@ type Runner struct {
 	mutations   atomic.Int64
 	mutateFails atomic.Int64
 	finalEpoch  atomic.Int64
+
+	// reqSeq numbers outgoing requests; each carries a deterministic
+	// lg-SEED-N request ID in X-Semsim-Request, so the server's query
+	// log and flight recorder join back to this run without guessing.
+	reqSeq atomic.Uint64
+}
+
+// requestID mints the next deterministic loadgen request ID.
+func (r *Runner) requestID() string {
+	return fmt.Sprintf("lg-%d-%d", r.opts.Seed, r.reqSeq.Add(1))
 }
 
 // NewRunner validates opts and prepares a runner.
@@ -206,6 +216,7 @@ func (r *Runner) do(ctx context.Context, endpoint, pathQuery string, scheduled t
 		r.errors.Add(1)
 		return
 	}
+	req.Header.Set("X-Semsim-Request", r.requestID())
 	resp, err := r.client.Do(req)
 	lat := time.Since(t0)
 	if !r.measuring.Load() {

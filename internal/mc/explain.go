@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"semsim/internal/hin"
+	"semsim/internal/obs"
 	"semsim/internal/obs/quality"
 	"semsim/internal/semantic"
 	"semsim/internal/walk"
@@ -30,7 +31,7 @@ func (e *Estimator) Explain(u, v hin.NodeID) *quality.Explanation {
 		SOCacheMode:  e.cacheMode(),
 		KernelMode:   e.kernelMode(),
 	}
-	e.explain(u, v, ex)
+	e.explain(u, v, ex, &ex.Cost)
 	ex.ElapsedSeconds = time.Since(t0).Seconds()
 	e.m.explains.Inc()
 	e.m.explainLat.ObserveDuration(time.Since(t0))
@@ -39,8 +40,14 @@ func (e *Estimator) Explain(u, v hin.NodeID) *quality.Explanation {
 
 // explain is the evidence-recording twin of query (mc.go). Any change
 // to query's control flow must be mirrored here — the bit-identity test
-// in explain_test.go catches divergence.
-func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
+// in explain_test.go catches divergence. co is always non-nil on the
+// Explain path (the Explanation embeds its Cost), threaded through the
+// same accounting points as query's costed mode.
+func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation, co *obs.Cost) {
+	if co != nil {
+		co.Pairs++
+		co.KernelProbes++
+	}
 	if u == v {
 		// sim(u,u) = 1 by definition — no sampling involved, so the
 		// interval is degenerate.
@@ -56,6 +63,9 @@ func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
 		// only error is the pruning envelope, bounded by sem itself via
 		// Prop 2.5 (sim <= sem <= theta).
 		e.m.semSkips.Inc()
+		if co != nil {
+			co.SemSkips++
+		}
 		ex.SemSkipped = true
 		ex.PruneEnvelope = semUV
 		return
@@ -64,7 +74,7 @@ func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
 	ex.NumWalks = nw
 	ex.MeetsByStep = make([]int64, e.ix.Length()+1)
 	// Mirrors query(): one pinned view per node, all walks through it.
-	vu, vv := e.ix.View(u), e.ix.View(v)
+	vu, vv := e.ix.ViewCost(u, co), e.ix.ViewCost(v, co)
 	var total, sumSq, sumCube float64
 	var coupled, capped int64
 	for i := 0; i < nw; i++ {
@@ -74,7 +84,7 @@ func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
 		}
 		coupled++
 		ex.MeetsByStep[tau]++
-		s, hitCap := e.walkScore(vu, vv, i, tau)
+		s, hitCap := e.walkScore(vu, vv, i, tau, co)
 		if hitCap {
 			capped++
 		}
@@ -84,6 +94,9 @@ func (e *Estimator) explain(u, v hin.NodeID, ex *quality.Explanation) {
 	}
 	e.m.walksCoupled.Add(coupled)
 	e.m.walkCaps.Add(capped)
+	if co != nil {
+		co.WalkCaps += capped
+	}
 	ex.WalksCoupled = int(coupled)
 	ex.WalkCaps = int(capped)
 

@@ -134,13 +134,35 @@ func (e *Estimator) so(a, b hin.NodeID) float64 {
 	return pairgraph.SO(e.g, e.sem, a, b)
 }
 
+// soProbe is so reporting whether the normalization came from cache
+// storage, for cost accounting. Without a cache every probe is a full
+// recomputation, i.e. a miss.
+func (e *Estimator) soProbe(a, b hin.NodeID) (float64, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	if e.cache != nil {
+		return e.cache.Probe(a, b)
+	}
+	return pairgraph.SO(e.g, e.sem, a, b), false
+}
+
 // Query estimates sim(u,v) with Algorithm 1. The returned score is clamped
 // into [0,1] (cf. Lemma 4.7). When metrics are enabled the call is timed
 // into semsim_query_seconds and counted in semsim_queries_total; the
 // pruning counters fire inside the scoring loop either way.
 func (e *Estimator) Query(u, v hin.NodeID) float64 {
+	return e.QueryCost(u, v, nil)
+}
+
+// QueryCost is Query additionally charging the work performed — walk
+// steps, SO-cache traffic, kernel probes, lazy block decodes — to co. A
+// nil co disables accounting; scores are bit-identical either way (the
+// costed cache probes have the same side effects and return the same
+// values as the uncosted ones).
+func (e *Estimator) QueryCost(u, v hin.NodeID, co *obs.Cost) float64 {
 	t0 := e.m.queryLat.Start()
-	score := e.query(u, v)
+	score := e.query(u, v, co)
 	e.m.queryLat.ObserveSince(t0)
 	e.m.queries.Inc()
 	return score
@@ -150,21 +172,30 @@ func (e *Estimator) Query(u, v hin.NodeID) float64 {
 // the top-k scan loops (which report aggregate candidate counts instead
 // of per-candidate timings). Pruning statistics are accumulated locally
 // and flushed with one atomic add per call so heavy concurrent scans
-// don't serialize on the shared counters.
-func (e *Estimator) query(u, v hin.NodeID) float64 {
+// don't serialize on the shared counters. co, when non-nil, receives the
+// pair's cost accounting (plain field bumps, never shared across
+// goroutines — parallel scans give each worker a local Cost and merge).
+func (e *Estimator) query(u, v hin.NodeID, co *obs.Cost) float64 {
+	if co != nil {
+		co.Pairs++
+		co.KernelProbes++ // the sem(u,v) gate probe below
+	}
 	if u == v {
 		return 1
 	}
 	semUV := e.sem.Sim(u, v)
 	if e.theta > 0 && semUV <= e.theta {
 		e.m.semSkips.Inc()
+		if co != nil {
+			co.SemSkips++
+		}
 		return 0 // lines 2-3 of Algorithm 1
 	}
 	nw := e.ix.NumWalks()
 	// One view fetch per node pins both walk blocks for the whole query:
 	// in resident mode this compiles to the same slab indexing as
 	// before; in lazy mode it is two cache probes instead of 2*n_w.
-	vu, vv := e.ix.View(u), e.ix.View(v)
+	vu, vv := e.ix.ViewCost(u, co), e.ix.ViewCost(v, co)
 	var total float64
 	var coupled, capped int64
 	for i := 0; i < nw; i++ {
@@ -173,7 +204,7 @@ func (e *Estimator) query(u, v hin.NodeID) float64 {
 			continue
 		}
 		coupled++
-		s, hitCap := e.walkScore(vu, vv, i, tau)
+		s, hitCap := e.walkScore(vu, vv, i, tau, co)
 		if hitCap {
 			capped++
 		}
@@ -181,6 +212,9 @@ func (e *Estimator) query(u, v hin.NodeID) float64 {
 	}
 	e.m.walksCoupled.Add(coupled)
 	e.m.walkCaps.Add(capped)
+	if co != nil {
+		co.WalkCaps += capped
+	}
 	score := semUV * total / float64(nw)
 	if score < 0 {
 		return 0
@@ -257,8 +291,10 @@ func (e *Estimator) finishBatch(t0 time.Time, pairs int) {
 // reports whether the theta cap cut the product short (Definition 4.5) —
 // the per-walk signal behind semsim_theta_walk_caps_total. The walks are
 // read through the caller's pinned views so one block probe covers all
-// n_w walks of a lazy index.
-func (e *Estimator) walkScore(vu, vv walk.NodeView, i, tau int) (score float64, capped bool) {
+// n_w walks of a lazy index. A non-nil co charges each step's work (the
+// step itself, the SO probe by outcome, the sem kernel probe); the nil
+// path takes one predictable branch per step and calls the plain so.
+func (e *Estimator) walkScore(vu, vv walk.NodeView, i, tau int, co *obs.Cost) (score float64, capped bool) {
 	wu := vu.Walk(i)
 	wv := vv.Walk(i)
 	simW := 1.0
@@ -266,7 +302,20 @@ func (e *Estimator) walkScore(vu, vv walk.NodeView, i, tau int) (score float64, 
 		cu, cv := hin.NodeID(wu[s]), hin.NodeID(wv[s])
 		nu, nv := hin.NodeID(wu[s+1]), hin.NodeID(wv[s+1])
 
-		so := e.so(cu, cv)
+		var so float64
+		if co == nil {
+			so = e.so(cu, cv)
+		} else {
+			co.WalkSteps++
+			co.KernelProbes++ // the sem(nu,nv) probe in pStep below
+			var hit bool
+			so, hit = e.soProbe(cu, cv)
+			if hit {
+				co.SOHits++
+			} else {
+				co.SOMisses++
+			}
+		}
 		if so == 0 {
 			return 0, false
 		}
@@ -295,6 +344,13 @@ func (e *Estimator) walkScore(vu, vv walk.NodeView, i, tau int) (score float64, 
 // results are identical to a serial scan (rank.TopK's total order makes
 // the selection independent of scoring order).
 func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
+	return e.TopKCost(u, k, nil)
+}
+
+// TopKCost is TopK charging the scan's work to co (nil co is exactly
+// TopK). Parallel workers accumulate into worker-local Costs merged
+// after the join, so the accounting adds no cross-goroutine traffic.
+func (e *Estimator) TopKCost(u hin.NodeID, k int, co *obs.Cost) []rank.Scored {
 	t0 := e.m.topkLat.Start()
 	n := e.g.NumNodes()
 	workers := e.scoringWorkers(n)
@@ -304,14 +360,18 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 			if hin.NodeID(v) == u {
 				continue
 			}
-			if s := e.query(u, hin.NodeID(v)); s > 0 {
+			if s := e.query(u, hin.NodeID(v), co); s > 0 {
 				h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
 			}
 		}
 		e.finishTopK(t0, h.Pushes())
 		return h.Sorted()
 	}
-	locals := make([]*rank.TopK, workers)
+	type local struct {
+		h    *rank.TopK
+		cost obs.Cost
+	}
+	locals := make([]local, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -328,27 +388,34 @@ func (e *Estimator) TopK(u hin.NodeID, k int) []rank.Scored {
 			defer wg.Done()
 			e.m.poolActive.Add(1)
 			defer e.m.poolActive.Add(-1)
+			var wco *obs.Cost
+			if co != nil {
+				wco = &locals[w].cost
+			}
 			h := rank.NewTopK(k)
 			for v := lo; v < hi; v++ {
 				if hin.NodeID(v) == u {
 					continue
 				}
-				if s := e.query(u, hin.NodeID(v)); s > 0 {
+				if s := e.query(u, hin.NodeID(v), wco); s > 0 {
 					h.Push(rank.Scored{Node: hin.NodeID(v), Score: s})
 				}
 			}
-			locals[w] = h
+			locals[w].h = h
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	h := rank.NewTopK(k)
 	pushes := 0
-	for _, local := range locals {
-		if local == nil {
+	for w := range locals {
+		if locals[w].h == nil {
 			continue
 		}
-		pushes += local.Pushes()
-		for _, s := range local.Sorted() {
+		if co != nil {
+			co.Add(&locals[w].cost)
+		}
+		pushes += locals[w].h.Pushes()
+		for _, s := range locals[w].h.Sorted() {
 			h.Push(s)
 		}
 	}
@@ -372,6 +439,13 @@ func (e *Estimator) finishTopK(t0 time.Time, candidates int) {
 // the number of walk-coupling evaluations shrinks. The early-terminated
 // scan is inherently sequential, so this path does not use the pool.
 func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
+	return e.TopKSemBoundedCost(u, k, nil)
+}
+
+// TopKSemBoundedCost is TopKSemBounded charging the scan's work —
+// including the n-1 semantic bound probes of the candidate sort — to co
+// (nil co is exactly TopKSemBounded).
+func (e *Estimator) TopKSemBoundedCost(u hin.NodeID, k int, co *obs.Cost) []rank.Scored {
 	t0 := e.m.topkLat.Start()
 	n := e.g.NumNodes()
 	type cand struct {
@@ -384,6 +458,9 @@ func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
 			continue
 		}
 		cands = append(cands, cand{hin.NodeID(v), e.sem.Sim(u, hin.NodeID(v))})
+	}
+	if co != nil {
+		co.KernelProbes += int64(len(cands))
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].sem != cands[j].sem {
@@ -401,7 +478,7 @@ func (e *Estimator) TopKSemBounded(u hin.NodeID, k int) []rank.Scored {
 				break // Prop 2.5: sim <= sem < current k-th best
 			}
 		}
-		if s := e.query(u, c.node); s > 0 {
+		if s := e.query(u, c.node, co); s > 0 {
 			h.Push(rank.Scored{Node: c.node, Score: s})
 		}
 	}

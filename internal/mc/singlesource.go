@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"semsim/internal/hin"
+	"semsim/internal/obs"
 	"semsim/internal/rank"
 	"semsim/internal/walk"
 )
@@ -16,12 +17,14 @@ type ssGroup struct {
 }
 
 // ssScratch holds the per-sweep buffers (collision list, group
-// boundaries, per-group scores) so repeated single-source sweeps reuse
-// their allocations instead of regrowing them on every call.
+// boundaries, per-group scores, per-worker cost accumulators) so
+// repeated single-source sweeps reuse their allocations instead of
+// regrowing them on every call.
 type ssScratch struct {
 	cols   []walk.Collision
 	groups []ssGroup
 	scores []float64
+	costs  []obs.Cost
 }
 
 var ssScratchPool = sync.Pool{New: func() any { return new(ssScratch) }}
@@ -35,11 +38,23 @@ var ssScratchPool = sync.Pool{New: func() any { return new(ssScratch) }}
 // enumeration changes). Candidate groups are scored in parallel across
 // the worker pool; the output order and values match the serial scan.
 func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scored {
+	return e.SingleSourceCost(u, meet, nil)
+}
+
+// SingleSourceCost is SingleSource charging the sweep's work to co (nil
+// co is exactly SingleSource): the meet-index cells scanned, plus each
+// group's walk scoring through the same per-step accounting as
+// QueryCost. Parallel workers accumulate into pooled worker-local Costs
+// merged after the join.
+func (e *Estimator) SingleSourceCost(u hin.NodeID, meet *walk.MeetIndex, co *obs.Cost) []rank.Scored {
 	t0 := e.m.singleLat.Start()
 	sc := ssScratchPool.Get().(*ssScratch)
 	defer ssScratchPool.Put(sc)
 	sc.cols = meet.CollisionsAppend(sc.cols[:0], u)
 	cols := sc.cols
+	if co != nil {
+		co.MeetCells += int64(len(cols))
+	}
 	if len(cols) == 0 {
 		e.finishSingleSource(t0, 0)
 		return nil
@@ -57,18 +72,25 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 	sc.groups = groups
 
 	nw := float64(e.ix.NumWalks())
-	vu := e.ix.View(u)
-	scoreGroup := func(g ssGroup) float64 {
+	vu := e.ix.ViewCost(u, co)
+	scoreGroup := func(g ssGroup, gco *obs.Cost) float64 {
+		if gco != nil {
+			gco.Pairs++
+			gco.KernelProbes++
+		}
 		semUV := e.sem.Sim(u, g.other)
 		if e.theta > 0 && semUV <= e.theta {
 			e.m.semSkips.Inc()
+			if gco != nil {
+				gco.SemSkips++
+			}
 			return 0
 		}
-		vo := e.ix.View(g.other)
+		vo := e.ix.ViewCost(g.other, gco)
 		var total float64
 		var capped int64
 		for _, col := range cols[g.lo:g.hi] {
-			s, hitCap := e.walkScore(vu, vo, int(col.Walk), col.Tau)
+			s, hitCap := e.walkScore(vu, vo, int(col.Walk), col.Tau, gco)
 			if hitCap {
 				capped++
 			}
@@ -76,6 +98,9 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 		}
 		e.m.walksCoupled.Add(int64(g.hi - g.lo))
 		e.m.walkCaps.Add(capped)
+		if gco != nil {
+			gco.WalkCaps += capped
+		}
 		score := semUV * total / nw
 		if score > 1 {
 			score = 1
@@ -91,9 +116,20 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 	workers := e.scoringWorkers(len(groups))
 	if workers <= 1 {
 		for i, g := range groups {
-			scores[i] = scoreGroup(g)
+			scores[i] = scoreGroup(g, co)
 		}
 	} else {
+		// Worker-local cost accumulators (pooled with the rest of the
+		// scratch) merged after the join; nil co stays nil per worker.
+		// The whole window is cleared up front — a pooled scratch can
+		// carry stale counts from a prior sweep, and not every worker
+		// slot necessarily spawns.
+		if co != nil {
+			if cap(sc.costs) < workers {
+				sc.costs = make([]obs.Cost, workers)
+			}
+			clear(sc.costs[:workers])
+		}
 		var wg sync.WaitGroup
 		chunk := (len(groups) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -106,16 +142,25 @@ func (e *Estimator) SingleSource(u hin.NodeID, meet *walk.MeetIndex) []rank.Scor
 			}
 			wg.Add(1)
 			e.m.poolTasks.Inc()
-			go func(glo, ghi int) {
+			var wco *obs.Cost
+			if co != nil {
+				wco = &sc.costs[w]
+			}
+			go func(glo, ghi int, wco *obs.Cost) {
 				defer wg.Done()
 				e.m.poolActive.Add(1)
 				defer e.m.poolActive.Add(-1)
 				for i := glo; i < ghi; i++ {
-					scores[i] = scoreGroup(groups[i])
+					scores[i] = scoreGroup(groups[i], wco)
 				}
-			}(glo, ghi)
+			}(glo, ghi, wco)
 		}
 		wg.Wait()
+		if co != nil {
+			for w := 0; w < workers; w++ {
+				co.Add(&sc.costs[w])
+			}
+		}
 	}
 
 	out := make([]rank.Scored, 0, len(groups))
@@ -141,9 +186,15 @@ func (e *Estimator) finishSingleSource(t0 time.Time, groups int) {
 // single-source sweep (the inner enumeration) and a top-k search in the
 // metrics.
 func (e *Estimator) TopKWithIndex(u hin.NodeID, k int, meet *walk.MeetIndex) []rank.Scored {
+	return e.TopKWithIndexCost(u, k, meet, nil)
+}
+
+// TopKWithIndexCost is TopKWithIndex charging the inner single-source
+// sweep's work to co (nil co is exactly TopKWithIndex).
+func (e *Estimator) TopKWithIndexCost(u hin.NodeID, k int, meet *walk.MeetIndex, co *obs.Cost) []rank.Scored {
 	t0 := e.m.topkLat.Start()
 	h := rank.NewTopK(k)
-	for _, s := range e.SingleSource(u, meet) {
+	for _, s := range e.SingleSourceCost(u, meet, co) {
 		if s.Node != u {
 			h.Push(s)
 		}

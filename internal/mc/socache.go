@@ -122,6 +122,39 @@ func (c *SOCache) SO(a, b hin.NodeID) float64 {
 	return v
 }
 
+// Probe is SO reporting whether the value came from cache storage (the
+// dense table or a stripe-map entry) rather than a fresh O(d^2)
+// recomputation. Side effects — the per-shard hit/miss counters and the
+// store-on-miss of above-cutoff pairs — are identical to SO, so costed
+// and uncosted query paths leave the cache in the same state and return
+// bit-identical values.
+func (c *SOCache) Probe(a, b hin.NodeID) (float64, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	k := pairkey.Key(a, b)
+	if d := c.dense.Load(); d != nil {
+		c.shardOf(k).hits.Add(1)
+		return d.vals[d.rowOff[a]+int64(b)], true
+	}
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	v, ok := sh.vals[k]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+		return v, true
+	}
+	sh.misses.Add(1)
+	v = pairgraph.SO(c.g, c.sem, a, b)
+	if c.sem.Sim(a, b) >= c.cutoff {
+		sh.mu.Lock()
+		sh.vals[k] = v
+		sh.mu.Unlock()
+	}
+	return v, false
+}
+
 // Precompute eagerly fills the cache for every pair with sem >= cutoff —
 // the offline SLING index build — using all available CPUs. It is O(n^2)
 // semantic probes plus O(d^2) per stored pair. It may not run

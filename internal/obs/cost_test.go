@@ -1,0 +1,135 @@
+package obs
+
+import "testing"
+
+func TestCostNilSafety(t *testing.T) {
+	var c *Cost
+	c.Add(&Cost{Pairs: 1})
+	c.Reset()
+	if !c.IsZero() {
+		t.Fatal("nil Cost must be zero")
+	}
+	if c.Work() != 0 {
+		t.Fatal("nil Cost Work must be 0")
+	}
+}
+
+func TestCostAddAndWork(t *testing.T) {
+	a := Cost{Pairs: 1, WalkSteps: 10, SOHits: 3, SOMisses: 2, KernelProbes: 5}
+	b := Cost{Pairs: 2, WalkSteps: 4, MeetCells: 7, BlockMisses: 1, BytesDecoded: 128}
+	a.Add(&b)
+	want := Cost{Pairs: 3, WalkSteps: 14, MeetCells: 7, SOHits: 3, SOMisses: 2,
+		KernelProbes: 5, BlockMisses: 1, BytesDecoded: 128}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if a.IsZero() {
+		t.Fatal("nonzero Cost reported zero")
+	}
+	// Work: steps + cells + probes + hits + 100*misses + 16*blockMiss + bytes/64
+	wantWork := int64(14 + 7 + 5 + 3 + 100*2 + 16*1 + 128/64)
+	if got := a.Work(); got != wantWork {
+		t.Fatalf("Work = %d, want %d", got, wantWork)
+	}
+	a.Reset()
+	if !a.IsZero() {
+		t.Fatal("Reset did not zero the accumulator")
+	}
+}
+
+func TestCostHists(t *testing.T) {
+	var off *CostHists
+	off.Observe(&Cost{WalkSteps: 1}) // nil-is-off must not panic
+	if NewCostHists(nil) != nil {
+		t.Fatal("NewCostHists(nil) must return nil")
+	}
+
+	r := NewRegistry()
+	h := NewCostHists(r)
+	h.Observe(nil) // nil cost must not panic
+	h.Observe(&Cost{WalkSteps: 12, SOHits: 3, BlockMisses: 1, BytesDecoded: 4096})
+	h.Observe(&Cost{WalkSteps: 90, SOMisses: 2, KernelProbes: 40})
+	for _, name := range []string{
+		"semsim_query_cost_walk_steps", "semsim_query_cost_meet_cells",
+		"semsim_query_cost_so_hits", "semsim_query_cost_so_misses",
+		"semsim_query_cost_kernel_probes", "semsim_query_cost_block_hits",
+		"semsim_query_cost_block_misses", "semsim_query_cost_bytes_decoded",
+	} {
+		hist := r.Histogram(name, "", CountBuckets)
+		if hist == nil || hist.Count() != 2 {
+			t.Fatalf("%s count = %d, want 2", name, hist.Count())
+		}
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	var off *HeavyHitters
+	off.Observe("x", 10)
+	if off.Top(5) != nil || off.Len() != 0 {
+		t.Fatal("nil tracker must be inert")
+	}
+	if NewHeavyHitters(0, nil) != nil {
+		t.Fatal("zero-capacity tracker must be nil")
+	}
+
+	h := NewHeavyHitters(3, nil)
+	h.Observe("", 5)  // empty key ignored
+	h.Observe("a", 0) // zero cost ignored
+	h.Observe("a", 10)
+	h.Observe("b", 20)
+	h.Observe("c", 5)
+	h.Observe("a", 15) // a now 25
+	top := h.Top(10)
+	if len(top) != 3 {
+		t.Fatalf("Top len = %d, want 3", len(top))
+	}
+	if top[0].Key != "a" || top[0].Count != 25 || top[0].Err != 0 {
+		t.Fatalf("top[0] = %+v, want a/25/0", top[0])
+	}
+	if top[1].Key != "b" || top[2].Key != "c" {
+		t.Fatalf("order = %s,%s, want b,c", top[1].Key, top[2].Key)
+	}
+
+	// Eviction: table full, new key evicts the minimum (c, count 5) and
+	// inherits its count as the error bound.
+	h.Observe("d", 7)
+	top = h.Top(10)
+	if len(top) != 3 || h.Len() != 3 {
+		t.Fatalf("after eviction len = %d/%d, want 3/3", len(top), h.Len())
+	}
+	var d *HeavyEntry
+	for i := range top {
+		if top[i].Key == "c" {
+			t.Fatal("minimum entry c should have been evicted")
+		}
+		if top[i].Key == "d" {
+			d = &top[i]
+		}
+	}
+	if d == nil || d.Count != 12 || d.Err != 5 {
+		t.Fatalf("evicting insert d = %+v, want count 12 err 5", d)
+	}
+
+	// Top(n) truncates.
+	if got := h.Top(1); len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("Top(1) = %+v", got)
+	}
+}
+
+func TestHeavyHittersMetrics(t *testing.T) {
+	r := NewRegistry()
+	h := NewHeavyHitters(2, r)
+	h.Observe("a", 1)
+	h.Observe("b", 1)
+	h.Observe("c", 1) // evicts
+	snap := r.Snapshot()
+	if got := snap.Gauges["semsim_heavy_tracked_keys"]; got != 2 {
+		t.Fatalf("tracked_keys = %v, want 2", got)
+	}
+	if got := snap.Gauges["semsim_heavy_observations_total"]; got != 3 {
+		t.Fatalf("observations_total = %v, want 3", got)
+	}
+	if got := snap.Gauges["semsim_heavy_evictions_total"]; got != 1 {
+		t.Fatalf("evictions_total = %v, want 1", got)
+	}
+}

@@ -28,7 +28,11 @@
 // wiring decision and disabling it costs one predictable branch.
 package quality
 
-import "math"
+import (
+	"math"
+
+	"semsim/internal/obs"
+)
 
 // Confidence is the two-sided confidence level of the CLT interval
 // reported in Explanation (CILow, CIHigh).
@@ -121,6 +125,11 @@ type Explanation struct {
 	// no semantic kernel wraps the measure.
 	SOCacheMode string `json:"so_cache"`
 	KernelMode  string `json:"kernel,omitempty"`
+
+	// Cost is the work the evaluation performed — walk steps, SO-cache
+	// traffic, kernel probes, lazy block decodes (see obs.Cost). Filled
+	// by cost-accounting backends; zero-valued on the rest.
+	Cost obs.Cost `json:"cost"`
 
 	// ElapsedSeconds is the wall time of this explain evaluation.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`

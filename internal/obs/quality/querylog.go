@@ -34,6 +34,12 @@ type QueryEvent struct {
 	Strategy      string  `json:"strategy,omitempty"`
 	CIWidth       float64 `json:"ci_width,omitempty"`
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+
+	// Cost is the request's cost accounting (walk steps, cache traffic,
+	// block decodes — see obs.Cost), set when the serving layer runs the
+	// query through a costed entry point. Nil when accounting is off or
+	// the endpoint does no query work.
+	Cost *obs.Cost `json:"cost,omitempty"`
 }
 
 // QueryLog serializes QueryEvents as newline-delimited JSON to a single

@@ -1,16 +1,18 @@
 package quality
 
 import (
+	"fmt"
 	"os"
 	"sync"
 )
 
 // RotatingFile is an append-only file writer with size-based rotation,
 // the durability backstop for the NDJSON query and trace logs: when a
-// write would push the file past maxBytes, the current file is renamed
-// to path.1 (replacing the previous generation — exactly one is kept)
-// and a fresh file is started at path. Rotation bounds disk use at
-// roughly 2×maxBytes per log without an external logrotate.
+// write would push the file past maxBytes, the generation chain shifts
+// (path.1 → path.2 … up to path.maxGens, oldest deleted), the current
+// file is renamed to path.1 and a fresh file is started at path.
+// Rotation bounds disk use at roughly (maxGens+1)×maxBytes per log
+// without an external logrotate.
 //
 // Writes are mutex-serialized and never split across a rotation, so
 // each generation holds whole NDJSON lines as long as callers write one
@@ -19,14 +21,26 @@ type RotatingFile struct {
 	mu       sync.Mutex
 	path     string
 	maxBytes int64
+	maxGens  int
 	f        *os.File
 	size     int64
 }
 
 // OpenRotatingFile opens (creating if needed) path for appending with
-// rotation at maxBytes. maxBytes <= 0 disables rotation — the file just
+// rotation at maxBytes, keeping one rotated generation (path.1) — the
+// historical default. maxBytes <= 0 disables rotation — the file just
 // grows, matching a plain append open.
 func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	return OpenRotatingFileGens(path, maxBytes, 1)
+}
+
+// OpenRotatingFileGens is OpenRotatingFile keeping up to maxGens rotated
+// generations (path.1 newest … path.maxGens oldest). maxGens < 1 is
+// clamped to 1.
+func OpenRotatingFileGens(path string, maxBytes int64, maxGens int) (*RotatingFile, error) {
+	if maxGens < 1 {
+		maxGens = 1
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -36,7 +50,8 @@ func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
 		f.Close()
 		return nil, err
 	}
-	return &RotatingFile{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+	return &RotatingFile{path: path, maxBytes: maxBytes, maxGens: maxGens,
+		f: f, size: st.Size()}, nil
 }
 
 // Write appends p, rotating first if the file would exceed maxBytes.
@@ -58,11 +73,25 @@ func (r *RotatingFile) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// rotateLocked closes the live file, shifts it to the .1 generation and
-// reopens path truncated. Caller holds r.mu.
+// gen names the i-th rotated generation of the log.
+func (r *RotatingFile) gen(i int) string {
+	return fmt.Sprintf("%s.%d", r.path, i)
+}
+
+// rotateLocked closes the live file, shifts the generation chain
+// (path.N-1 → path.N, descending, dropping anything past maxGens),
+// renames the live file to path.1 and reopens path truncated. Caller
+// holds r.mu. Chain-shift failures are non-fatal (a missing middle
+// generation just shortens history); only failing to move the live file
+// aside degrades to append mode.
 func (r *RotatingFile) rotateLocked() error {
 	r.f.Close()
-	renameErr := os.Rename(r.path, r.path+".1")
+	for i := r.maxGens; i >= 2; i-- {
+		// Renaming over an existing file replaces it, so the oldest
+		// generation (path.maxGens) is dropped by being overwritten.
+		os.Rename(r.gen(i-1), r.gen(i))
+	}
+	renameErr := os.Rename(r.path, r.gen(1))
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if renameErr != nil {
 		// Could not shift the generation: fall back to appending to the

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,6 +74,74 @@ func TestRotatingFileRotatesAtLimit(t *testing.T) {
 	cur, _ = os.ReadFile(path)
 	if string(cur) != "eeeeeeeeee\n" {
 		t.Fatalf("after second rotation current holds %q", cur)
+	}
+}
+
+// TestRotatingFileKeepsNGenerations drives enough rotations through a
+// 3-generation writer to cycle the whole chain: generations shift
+// path.1 → path.2 → path.3, the oldest falls off, and the content order
+// stays newest-first across the chain.
+func TestRotatingFileKeepsNGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	rf, err := OpenRotatingFileGens(path, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	write := func(s string) {
+		t.Helper()
+		if _, err := rf.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each letter writes 22 bytes over a 25-byte cap: every second write
+	// rotates, so five pairs produce four rotations.
+	for _, c := range []string{"a", "b", "c", "d", "e"} {
+		write(strings.Repeat(c, 10) + "\n")
+		write(strings.Repeat(c, 10) + "\n")
+	}
+	read := func(p string) string {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		return string(data)
+	}
+	if got := read(path); got != strings.Repeat("e", 10)+"\n"+strings.Repeat("e", 10)+"\n" {
+		t.Fatalf("live file holds %q", got)
+	}
+	for i, want := range []string{"d", "c", "b"} {
+		gen := read(fmt.Sprintf("%s.%d", path, i+1))
+		if gen != strings.Repeat(want, 10)+"\n"+strings.Repeat(want, 10)+"\n" {
+			t.Fatalf("generation %d holds %q, want %s-lines", i+1, gen, want)
+		}
+	}
+	// The a-generation fell off the end of the chain.
+	if _, err := os.Stat(path + ".4"); !os.IsNotExist(err) {
+		t.Fatal("a fourth generation exists beyond maxGens")
+	}
+}
+
+// TestOpenRotatingFileGensClamps pins the compatibility contract: the
+// one-generation constructor and a clamped maxGens < 1 behave like the
+// historical single-.1 writer.
+func TestOpenRotatingFileGensClamps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	rf, err := OpenRotatingFileGens(path, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	for _, c := range []string{"a", "b", "c"} {
+		if _, err := rf.Write([]byte(strings.Repeat(c, 22) + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatal("clamped writer never rotated to .1")
+	}
+	if _, err := os.Stat(path + ".2"); !os.IsNotExist(err) {
+		t.Fatal("clamped writer produced a second generation")
 	}
 }
 

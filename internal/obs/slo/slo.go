@@ -150,6 +150,46 @@ func (t *Tracker) Windows() []time.Duration {
 	return t.windows
 }
 
+// WindowState is one reporting window's burn rates in a State snapshot.
+type WindowState struct {
+	Window          string  `json:"window"`
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+	ErrorBurnRate   float64 `json:"error_burn_rate"`
+}
+
+// State is a JSON-marshalable snapshot of the tracker's configuration
+// and current burn rates — the shape written into the diagnostics
+// bundle's slo.json.
+type State struct {
+	Enabled                 bool          `json:"enabled"`
+	Objective               float64       `json:"objective,omitempty"`
+	LatencyThresholdSeconds float64       `json:"latency_threshold_seconds,omitempty"`
+	Windows                 []WindowState `json:"windows,omitempty"`
+}
+
+// Snapshot captures the current SLO state. On a nil tracker it returns
+// the disabled state ({"enabled": false}), so diagnostics callers never
+// branch.
+func (t *Tracker) Snapshot() State {
+	if t == nil {
+		return State{}
+	}
+	st := State{
+		Enabled:                 true,
+		Objective:               t.objective,
+		LatencyThresholdSeconds: t.threshold.Seconds(),
+		Windows:                 make([]WindowState, 0, len(t.windows)),
+	}
+	for _, w := range t.windows {
+		st.Windows = append(st.Windows, WindowState{
+			Window:          WindowLabel(w),
+			LatencyBurnRate: t.LatencyBurnRate(w),
+			ErrorBurnRate:   t.ErrorBurnRate(w),
+		})
+	}
+	return st
+}
+
 // Observe classifies one finished request. No-op on nil.
 func (t *Tracker) Observe(latency time.Duration, isError bool) {
 	if t == nil {

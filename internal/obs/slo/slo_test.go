@@ -100,6 +100,35 @@ func TestBurnRateMath(t *testing.T) {
 	}
 }
 
+func TestSnapshotState(t *testing.T) {
+	var nilTr *Tracker
+	if st := nilTr.Snapshot(); st.Enabled || len(st.Windows) != 0 {
+		t.Fatalf("nil Snapshot = %+v, want disabled zero state", st)
+	}
+
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	tr := newTestTracker(t, reg, clk)
+	for i := 0; i < 99; i++ {
+		tr.Observe(10*time.Microsecond, false)
+	}
+	tr.Observe(5*time.Millisecond, true)
+
+	st := tr.Snapshot()
+	if !st.Enabled || st.Objective != 0.99 || st.LatencyThresholdSeconds != 0.001 {
+		t.Fatalf("Snapshot config = %+v", st)
+	}
+	if len(st.Windows) != 2 || st.Windows[0].Window != "1m" || st.Windows[1].Window != "12m" {
+		t.Fatalf("Snapshot windows = %+v", st.Windows)
+	}
+	if math.Abs(st.Windows[0].LatencyBurnRate-1.0) > 1e-9 {
+		t.Errorf("snapshot latency burn = %g, want 1.0", st.Windows[0].LatencyBurnRate)
+	}
+	if math.Abs(st.Windows[0].ErrorBurnRate-1.0) > 1e-9 {
+		t.Errorf("snapshot error burn = %g, want 1.0", st.Windows[0].ErrorBurnRate)
+	}
+}
+
 func TestWindowExpiry(t *testing.T) {
 	clk := newFakeClock()
 	reg := obs.NewRegistry()

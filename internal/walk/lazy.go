@@ -205,6 +205,11 @@ type lazyFile struct {
 	refs       atomic.Int64
 	decodeErrs atomic.Int64
 	lastErr    atomic.Value // error
+	// decodeErrCtr mirrors decodeErrs into the metrics registry
+	// (semsim_walk_decode_errors_total) so lazy-path corruption is
+	// visible to scraping and alerting, not just the DecodeErrors
+	// method. Nil when metrics are off.
+	decodeErrCtr *obs.Counter
 }
 
 // readBlock fetches and decodes file block b (cold path).
@@ -291,17 +296,32 @@ type lazyStore struct {
 // stopped-at-origin view — walks of length 1 never meet anything, so
 // the node scores zero against all others — while the error is counted
 // and kept for DecodeErrors/LastDecodeErr.
-func (ls *lazyStore) view(v hin.NodeID) NodeView {
+func (ls *lazyStore) view(v hin.NodeID) NodeView { return ls.viewCost(v, nil) }
+
+// viewCost is view with per-query cost accounting: the block-cache
+// outcome is charged to co (nil co disables, making this exactly view).
+// Overlay blocks are plain resident memory — neither the cache counters
+// nor the per-query cost count them.
+func (ls *lazyStore) viewCost(v hin.NodeID, co *obs.Cost) NodeView {
 	b := int(v) / ls.bn
 	blk := ls.overlay[b]
 	if blk == nil {
-		if blk = ls.f.cache.get(b); blk == nil {
+		if blk = ls.f.cache.get(b); blk != nil {
+			if co != nil {
+				co.BlockHits++
+			}
+		} else {
 			ls.f.cache.misses.Inc()
 			fresh, err := ls.f.readBlock(b)
 			if err != nil {
 				ls.f.decodeErrs.Add(1)
+				ls.f.decodeErrCtr.Inc()
 				ls.f.lastErr.Store(err)
 				return stoppedView(v, ls.nw, ls.stride)
+			}
+			if co != nil {
+				co.BlockMisses++
+				co.BytesDecoded += fresh.bytes()
 			}
 			blk = ls.f.cache.insert(b, fresh)
 		}
@@ -441,6 +461,8 @@ func OpenLazy(src io.ReaderAt, size int64, g *hin.Graph, opts LazyOptions) (*Ind
 		bn:     bn,
 		offs:   offs,
 		cache:  newBlockCache(opts.CacheBytes, opts.Metrics),
+		decodeErrCtr: opts.Metrics.Counter("semsim_walk_decode_errors_total",
+			"lazy walk-block decodes that failed (queries served degraded stopped walks)"),
 	}
 	if c, ok := src.(io.Closer); ok {
 		f.closer = c

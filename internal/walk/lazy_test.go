@@ -268,7 +268,8 @@ func TestLazyDecodeErrorDegrades(t *testing.T) {
 	block1 := v3HeaderBytes + 8 + int(plen0)
 	data[block1+8] ^= 0xFF
 
-	lazy, err := OpenLazy(bytes.NewReader(data), int64(len(data)), g, LazyOptions{CacheBytes: 1 << 20})
+	reg := obs.NewRegistry()
+	lazy, err := OpenLazy(bytes.NewReader(data), int64(len(data)), g, LazyOptions{CacheBytes: 1 << 20, Metrics: reg})
 	if err != nil {
 		t.Fatalf("OpenLazy: %v", err)
 	}
@@ -287,6 +288,11 @@ func TestLazyDecodeErrorDegrades(t *testing.T) {
 	}
 	if lazy.DecodeErrors() == 0 || lazy.LastDecodeErr() == nil {
 		t.Fatal("decode failure was not recorded")
+	}
+	// The failure is also scrapeable: DecodeErrors mirrors into the
+	// registry so lazy-path corruption reaches alerting.
+	if got := reg.Counter("semsim_walk_decode_errors_total", "").Value(); got != int64(lazy.DecodeErrors()) {
+		t.Fatalf("semsim_walk_decode_errors_total = %d, want %d", got, lazy.DecodeErrors())
 	}
 }
 

@@ -234,6 +234,21 @@ func (ix *Index) View(v hin.NodeID) NodeView {
 	}
 }
 
+// ViewCost is View with per-query cost accounting: on a lazy index the
+// block-cache outcome (hit, or miss plus decoded bytes) is charged to
+// co. A nil co or a resident index behaves exactly like View.
+func (ix *Index) ViewCost(v hin.NodeID, co *obs.Cost) NodeView {
+	if ix.lazy != nil {
+		return ix.lazy.viewCost(v, co)
+	}
+	base := int(v) * ix.nw
+	return NodeView{
+		walks:  ix.walks[base*ix.stride : (base+ix.nw)*ix.stride],
+		lens:   ix.lens[base : base+ix.nw],
+		stride: ix.stride,
+	}
+}
+
 // MeetViews is Meet over two already-fetched node views: the first
 // offset where walk i of both views is at the same node. Queries that
 // score many walks of the same node pair fetch the two views once and

@@ -510,6 +510,25 @@ func (ix *Index) Query(u, v NodeID) float64 {
 	return score
 }
 
+// QueryCost is Query additionally charging the work performed — walk
+// steps scanned, SO-cache hits/misses, kernel probes, lazy walk-block
+// decodes — to co (see Cost). Scores are bit-identical to Query, and a
+// nil co disables the accounting. On a backend without cost support the
+// query is answered plain and co stays untouched.
+func (ix *Index) QueryCost(u, v NodeID, co *Cost) float64 {
+	s := ix.snap.Load()
+	cr, ok := s.eng.(engine.CostRunner)
+	if !ok {
+		return ix.Query(u, v)
+	}
+	score, err := cr.QueryCost(u, v, co)
+	if err != nil {
+		return 0
+	}
+	ix.shadow.OfferWith(u, v, score, s.refScore)
+	return score
+}
+
 // ExplainQuery answers Query(u, v) together with the evidence behind
 // the estimate: sample counts, per-step meeting histogram, empirical
 // variance, the 95% confidence interval, theta-pruning accounting and
@@ -581,6 +600,21 @@ func (ix *Index) PlanStrategy(k int) string {
 // An out-of-range u returns nil.
 func (ix *Index) TopK(u NodeID, k int) []Scored {
 	out, err := ix.snap.Load().eng.TopK(u, k)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// TopKCost is TopK additionally charging the scan's work to co (see
+// Cost). Results are identical to TopK; a nil co disables the
+// accounting, and a backend without cost support answers plain.
+func (ix *Index) TopKCost(u NodeID, k int, co *Cost) []Scored {
+	cr, ok := ix.snap.Load().eng.(engine.CostRunner)
+	if !ok {
+		return ix.TopK(u, k)
+	}
+	out, err := cr.TopKCost(u, k, co)
 	if err != nil {
 		return nil
 	}

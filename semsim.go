@@ -204,6 +204,16 @@ func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 // (Index.CacheSummary).
 type CacheSummary = mc.CacheSummary
 
+// Cost is a per-query work accumulator (see internal/obs): pass a
+// pointer to Index.QueryCost / Index.TopKCost and the query path counts
+// the walk steps scanned, SO-cache hits/misses, kernel probes, lazy
+// block-cache traffic and pruning events it spent answering. Plain
+// field bumps on the caller's struct — zero allocation, no atomics; a
+// nil *Cost disables accounting. The struct is JSON-marshalable as-is
+// (the shape embedded in /explain, the query log and the flight
+// recorder).
+type Cost = obs.Cost
+
 // Explanation is the per-query evidence record returned by
 // Index.ExplainQuery: walk samples used, per-step meeting counts,
 // empirical variance with a 95% CLT confidence interval on the
